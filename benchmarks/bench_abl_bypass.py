@@ -1,0 +1,16 @@
+"""Ablation: CHROME with the bypass action removed
+
+Beyond-the-paper design-choice study (see DESIGN.md); regenerated
+through the experiment registry with the table saved under
+benchmarks/results/.
+"""
+
+from repro.experiments.figures import _register_ablations
+
+_register_ablations()
+
+
+def test_abl_bypass(regenerate):
+    result = regenerate("abl_bypass")
+    variants = set(result.column("variant"))
+    assert variants == {"chrome", "chrome-nobypass"}

@@ -1,0 +1,16 @@
+"""Ablation: sampled-set training density sweep
+
+Beyond-the-paper design-choice study (see DESIGN.md); regenerated
+through the experiment registry with the table saved under
+benchmarks/results/.
+"""
+
+from repro.experiments.figures import _register_ablations
+
+_register_ablations()
+
+
+def test_abl_sampling(regenerate):
+    result = regenerate("abl_sampling")
+    densities = result.column("sampled_sets")
+    assert densities == sorted(densities)

@@ -1,0 +1,15 @@
+"""Ablation: cold-state arg-max tie-break direction
+
+Beyond-the-paper design-choice study (see DESIGN.md); regenerated
+through the experiment registry with the table saved under
+benchmarks/results/.
+"""
+
+from repro.experiments.figures import _register_ablations
+
+_register_ablations()
+
+
+def test_abl_tiebreak(regenerate):
+    result = regenerate("abl_tiebreak")
+    assert len(result.rows) == 2

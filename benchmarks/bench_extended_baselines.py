@@ -1,0 +1,15 @@
+"""Extended baselines (random/SRRIP/DRRIP/SHiP++) vs CHROME
+
+Beyond-the-paper design-choice study (see DESIGN.md); regenerated
+through the experiment registry with the table saved under
+benchmarks/results/.
+"""
+
+from repro.experiments.figures import _register_ablations
+
+_register_ablations()
+
+
+def test_extended_baselines(regenerate):
+    result = regenerate("extended_baselines")
+    assert "chrome" in result.column("scheme")

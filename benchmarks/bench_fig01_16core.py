@@ -1,0 +1,12 @@
+"""Fig. 1: speedup over LRU on a 16-core system (homogeneous SPEC mixes)
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig1(regenerate):
+    result = regenerate("fig1")
+    assert set(result.column("scheme")) == {"hawkeye", "glider", "mockingjay", "care", "chrome"}
+    assert all(isinstance(v, float) for v in result.column("speedup_pct"))

@@ -1,0 +1,13 @@
+"""Fig. 2: fraction of LLC blocks evicted unused under Glider, and how many came from prefetching
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig2(regenerate):
+    result = regenerate("fig2")
+    mean = result.row_by_key("mean")
+    assert 0 <= mean[1] <= 100  # unused fraction is a percentage
+    assert mean[1] >= mean[2]  # requested-again is a subset of unused

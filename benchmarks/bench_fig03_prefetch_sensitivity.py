@@ -1,0 +1,12 @@
+"""Fig. 3: Hawkeye/Glider/Mockingjay under two multi-level prefetch configurations
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig3(regenerate):
+    result = regenerate("fig3")
+    prefetches = set(result.column("prefetch"))
+    assert prefetches == {"nl_stride", "stride_streamer"}

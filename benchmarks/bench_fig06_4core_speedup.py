@@ -1,0 +1,12 @@
+"""Fig. 6: per-workload speedup over LRU, 4-core SPEC homogeneous mixes
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig6(regenerate):
+    result = regenerate("fig6")
+    geomean = result.row_by_key("geomean")
+    assert len(geomean) == 6  # workload + five schemes

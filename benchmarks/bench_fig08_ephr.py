@@ -1,0 +1,12 @@
+"""Fig. 8: effective prefetch hit ratio per scheme (same runs as Fig. 6)
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig8(regenerate):
+    result = regenerate("fig8")
+    mean = result.row_by_key("mean")
+    assert all(0 <= v <= 100 for v in mean[1:])

@@ -1,0 +1,12 @@
+"""Fig. 9: bypass coverage and efficiency, Mockingjay vs CHROME
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig9(regenerate):
+    result = regenerate("fig9")
+    mean = result.row_by_key("mean")
+    assert all(0 <= v <= 100 for v in mean[1:])

@@ -1,0 +1,14 @@
+"""Fig. 10: weighted speedup across random 4-core heterogeneous mixes (s-curve)
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig10(regenerate):
+    result = regenerate("fig10")
+    assert result.rows[-1][0] == "geomean"
+    mixes = [r for r in result.rows if r[0] != "geomean"]
+    chrome = [r[4] for r in mixes]
+    assert chrome == sorted(chrome)  # ascending in CHROME, as plotted

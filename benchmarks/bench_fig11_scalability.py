@@ -1,0 +1,12 @@
+"""Fig. 11: scalability across 4/8/16 cores, homogeneous and heterogeneous
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig11(regenerate):
+    result = regenerate("fig11")
+    labels = set(result.column("config"))
+    assert {"homo-4c", "homo-8c", "homo-16c", "hetero-4c", "hetero-8c", "hetero-16c"} == labels

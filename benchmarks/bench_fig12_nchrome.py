@@ -1,0 +1,11 @@
+"""Fig. 12: CHROME vs N-CHROME (concurrency feedback ablation)
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig12(regenerate):
+    result = regenerate("fig12")
+    assert set(result.column("cores")) == {"4c", "8c", "16c"}

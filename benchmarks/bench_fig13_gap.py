@@ -1,0 +1,11 @@
+"""Fig. 13: GAP graph workloads (unseen during tuning), 4/8/16 cores
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig13(regenerate):
+    result = regenerate("fig13")
+    assert set(result.column("cores")) == {"4c", "8c", "16c"}

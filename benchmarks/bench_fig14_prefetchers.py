@@ -1,0 +1,11 @@
+"""Fig. 14: alternative prefetching schemes (stride+streamer, IPCP)
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig14(regenerate):
+    result = regenerate("fig14")
+    assert set(result.column("prefetch")) == {"stride_streamer", "ipcp"}

@@ -1,0 +1,11 @@
+"""Fig. 15: state-feature ablation (PC only / PN only / PC+PN)
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig15(regenerate):
+    result = regenerate("fig15")
+    assert set(result.column("features")) == {"pc_only", "pn_only", "pc+pn"}

@@ -1,0 +1,12 @@
+"""Fig. 16: hyper-parameter sensitivity (alpha, gamma, epsilon)
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_fig16(regenerate):
+    result = regenerate("fig16")
+    params = set(result.column("parameter"))
+    assert params == {"alpha", "gamma", "epsilon"}

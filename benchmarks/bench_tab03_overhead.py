@@ -1,0 +1,11 @@
+"""Table III: CHROME storage overhead budget
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_tab3(regenerate):
+    result = regenerate("tab3")
+    assert result.row_by_key("total")[1] == 92.7

@@ -1,0 +1,14 @@
+"""Table VII: EQ FIFO depth sweep (speedup, UPKSA, overhead)
+
+Regenerates the paper artifact through the experiment registry and
+records the wall time under pytest-benchmark; the rendered table lands
+in benchmarks/results/.
+"""
+
+
+def test_tab7(regenerate):
+    result = regenerate("tab7")
+    sizes = result.column("fifo_size")
+    assert sizes == [12, 16, 20, 24, 28, 32, 36]
+    upksa = result.column("upksa")
+    assert upksa[0] >= upksa[-1]  # larger FIFOs update less often

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Graph analytics on the shared LLC — the paper's GAP generalization
+study (Sec. VII-D) in miniature.
+
+GAP workloads were *not* used for CHROME's hyper-parameter tuning, so
+they test generalization.  This example runs real graph kernels (BFS,
+PageRank, SSSP) over synthetic power-law and uniform graphs in CSR
+layout, on a 4-core system, and compares CHROME against CARE (the
+second-best scheme in the paper's GAP results) and LRU.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro.experiments.metrics import speedup_percent, weighted_speedup
+from repro.experiments.runner import resolve_policy
+from repro.sim.multicore import MultiCoreSystem, SystemConfig
+from repro.traces import build_gap_trace
+from repro.traces.mixes import ADDRESS_SPACE_STRIDE
+
+SCALE = 1 / 16
+ACCESSES = 26_000
+WARMUP = 8_000
+KERNELS = ("bfs-tw", "pr-ur", "sssp-or")
+
+
+def gap_mix(name, cores):
+    base = build_gap_trace(name, ACCESSES, scale=SCALE)
+    return [
+        base.with_address_offset((c + 1) * ADDRESS_SPACE_STRIDE) for c in range(cores)
+    ]
+
+
+def run(policy_name, traces):
+    system = MultiCoreSystem(
+        SystemConfig(num_cores=len(traces), scale=SCALE),
+        llc_policy=resolve_policy(policy_name, SCALE),
+    )
+    return system.run(traces, warmup_accesses=WARMUP)
+
+
+def main():
+    print(f"{'kernel':<10} {'scheme':<8} {'speedup%':>9} {'miss%':>7} {'camat':>8}")
+    print("-" * 46)
+    for kernel in KERNELS:
+        base = run("lru", gap_mix(kernel, 4))
+        for scheme in ("care", "chrome"):
+            result = run(scheme, gap_mix(kernel, 4))
+            ws = weighted_speedup(result.ipcs, base.ipcs)
+            camat = sum(result.camat_summary["per_core_camat"]) / 4
+            print(
+                f"{kernel:<10} {scheme:<8} {speedup_percent(ws):>8.2f} "
+                f"{100 * result.llc_stats.demand_miss_ratio:>6.1f} {camat:>8.1f}"
+            )
+    print()
+    print("Graph kernels mix sequential offset/neighbor sweeps with")
+    print("scattered property-array accesses; concurrency-aware schemes")
+    print("(CARE, CHROME) exploit the resulting overlapped-miss phases.")
+
+
+if __name__ == "__main__":
+    main()

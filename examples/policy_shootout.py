@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Policy shoot-out: all five paper schemes on a heterogeneous mix.
+
+Reproduces the flavour of the paper's Fig. 10 on a single mix: four
+different SPEC-like workloads share the LLC; every scheme (Hawkeye,
+Glider, Mockingjay, CARE, CHROME) runs the identical mix and is
+normalized against a shared LRU baseline.
+
+Run:  python examples/policy_shootout.py [mix-members ...]
+e.g.  python examples/policy_shootout.py mcf06 libquantum06 omnetpp17 hmmer06
+"""
+
+import sys
+
+from repro.experiments.metrics import speedup_percent, summarize, weighted_speedup
+from repro.experiments.runner import resolve_policy
+from repro.sim.multicore import MultiCoreSystem, SystemConfig
+from repro.traces import ALL_SPEC_WORKLOADS, heterogeneous_mix
+
+SCALE = 1 / 16
+ACCESSES = 26_000
+WARMUP = 8_000
+SCHEMES = ("hawkeye", "glider", "mockingjay", "care", "chrome")
+
+
+def run(policy_name, names):
+    system = MultiCoreSystem(
+        SystemConfig(num_cores=len(names), scale=SCALE),
+        llc_policy=resolve_policy(policy_name, SCALE),
+        prefetch_config="nl_stride",
+    )
+    traces = heterogeneous_mix(names, ACCESSES, scale=SCALE)
+    return system.run(traces, warmup_accesses=WARMUP)
+
+
+def main():
+    names = sys.argv[1:] or ["mcf06", "libquantum06", "omnetpp17", "hmmer06"]
+    unknown = [n for n in names if n not in ALL_SPEC_WORKLOADS]
+    if unknown:
+        raise SystemExit(f"unknown workloads {unknown}; choose from {ALL_SPEC_WORKLOADS}")
+
+    print(f"mix: {' + '.join(names)}")
+    print("running lru baseline ...")
+    base = run("lru", names)
+
+    rows = []
+    for scheme in SCHEMES:
+        print(f"running {scheme} ...")
+        result = run(scheme, names)
+        metrics = summarize(result, base)
+        rows.append((scheme, metrics))
+
+    print()
+    print(f"{'scheme':<12} {'speedup%':>9} {'miss%':>7} {'EPHR%':>7} {'bypass%':>8}")
+    print("-" * 48)
+    for scheme, m in rows:
+        print(
+            f"{scheme:<12} {m.speedup_percent:>8.2f} "
+            f"{100 * m.demand_miss_ratio:>6.1f} {100 * m.ephr:>6.1f} "
+            f"{100 * m.bypass_coverage:>7.1f}"
+        )
+    best = max(rows, key=lambda r: r[1].weighted_speedup)
+    print(f"\nbest scheme on this mix: {best[0]} "
+          f"({best[1].speedup_percent:+.2f}% over LRU)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: run CHROME against LRU on one workload.
+
+Builds a scaled 4-core system (private L1D/L2, shared LLC, DDR4-like
+memory, next-line + stride prefetching), runs four copies of an
+mcf-like pointer-chasing workload, and reports the metrics the paper
+reports: weighted speedup over LRU, LLC demand miss ratio, EPHR, and
+CHROME's bypass behaviour.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ChromePolicy, MultiCoreSystem, SystemConfig
+from repro.experiments.metrics import speedup_percent, weighted_speedup
+from repro.sim.replacement import make_policy
+from repro.traces import homogeneous_mix
+
+SCALE = 1 / 16  # machine and working sets shrink together
+CORES = 4
+ACCESSES = 30_000  # per core (warmup + measured)
+WARMUP = 10_000
+
+
+def run(policy):
+    system = MultiCoreSystem(
+        SystemConfig(num_cores=CORES, scale=SCALE),
+        llc_policy=policy,
+        prefetch_config="nl_stride",
+    )
+    traces = homogeneous_mix("mcf06", CORES, ACCESSES, scale=SCALE)
+    return system.run(traces, warmup_accesses=WARMUP)
+
+
+def main():
+    print("running LRU baseline ...")
+    lru = run(make_policy("lru"))
+    print("running CHROME ...")
+    chrome = run(ChromePolicy())
+
+    ws = weighted_speedup(chrome.ipcs, lru.ipcs)
+    print()
+    print(f"workload                mcf06 x{CORES} (homogeneous)")
+    print(f"LRU    IPCs             {[round(i, 3) for i in lru.ipcs]}")
+    print(f"CHROME IPCs             {[round(i, 3) for i in chrome.ipcs]}")
+    print(f"weighted speedup        {speedup_percent(ws):+.2f}% over LRU")
+    print(f"LLC demand miss ratio   LRU {lru.llc_stats.demand_miss_ratio:.1%}  "
+          f"CHROME {chrome.llc_stats.demand_miss_ratio:.1%}")
+    print(f"EPHR                    LRU {lru.llc_mgmt.ephr:.1%}  "
+          f"CHROME {chrome.llc_mgmt.ephr:.1%}")
+    print(f"CHROME bypass coverage  {chrome.llc_mgmt.bypass_coverage:.1%}")
+    print(f"CHROME bypass efficiency {chrome.llc_mgmt.bypass_efficiency:.1%}")
+    telemetry = chrome.extra["policy_telemetry"]
+    print(f"Q-table updates         {telemetry['q_updates']} "
+          f"(UPKSA {telemetry['upksa']:.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works on
+environments whose setuptools predates PEP 660 editable installs
+(offline boxes without the `wheel` package).
+"""
+
+from setuptools import setup
+
+setup()

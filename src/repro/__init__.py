@@ -1,0 +1,91 @@
+"""CHROME reproduction: concurrency-aware holistic cache management
+with online reinforcement learning (HPCA 2024).
+
+Layout:
+
+* :mod:`repro.core` — CHROME itself (RL agent, Q-table, EQ, rewards,
+  features, overhead model);
+* :mod:`repro.sim` — the trace-driven multi-core memory-system
+  simulator plus every comparator policy and prefetcher;
+* :mod:`repro.traces` — SPEC-like synthetic workloads, GAP graph
+  kernels, and multi-programmed mix builders;
+* :mod:`repro.experiments` — the harness regenerating every table and
+  figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import ChromePolicy, MultiCoreSystem, SystemConfig
+    from repro.traces import homogeneous_mix
+
+    traces = homogeneous_mix("mcf06", num_cores=4, num_accesses=50_000,
+                             scale=1 / 16)
+    system = MultiCoreSystem(SystemConfig(num_cores=4, scale=1 / 16),
+                             llc_policy=ChromePolicy())
+    result = system.run(traces, warmup_accesses=10_000)
+    print(result.ipcs, result.llc_stats.demand_miss_ratio)
+"""
+
+from .core import (
+    ChromeConfig,
+    ChromePolicy,
+    EvaluationQueue,
+    FeatureExtractor,
+    QTable,
+    RewardConfig,
+    chrome_overhead,
+    make_nchrome_policy,
+    overhead_comparison,
+)
+from .experiments import ExperimentScale, Runner, run_experiment
+from .sim import (
+    CAMATMonitor,
+    Cache,
+    DRAMModel,
+    MultiCoreSystem,
+    SystemConfig,
+    SystemResult,
+)
+from .sim.replacement import PAPER_SCHEMES, POLICY_REGISTRY, make_policy
+from .traces import (
+    ALL_SPEC_WORKLOADS,
+    GAP_TRACES,
+    Trace,
+    build_gap_trace,
+    build_spec_trace,
+    heterogeneous_mix,
+    homogeneous_mix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SPEC_WORKLOADS",
+    "CAMATMonitor",
+    "Cache",
+    "ChromeConfig",
+    "ChromePolicy",
+    "DRAMModel",
+    "EvaluationQueue",
+    "ExperimentScale",
+    "FeatureExtractor",
+    "GAP_TRACES",
+    "MultiCoreSystem",
+    "PAPER_SCHEMES",
+    "POLICY_REGISTRY",
+    "QTable",
+    "RewardConfig",
+    "Runner",
+    "SystemConfig",
+    "SystemResult",
+    "Trace",
+    "build_gap_trace",
+    "build_spec_trace",
+    "chrome_overhead",
+    "heterogeneous_mix",
+    "homogeneous_mix",
+    "make_nchrome_policy",
+    "make_policy",
+    "overhead_comparison",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,95 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    chrome-repro list
+    chrome-repro run fig6 [--scale 0.0625 --accesses 24000 ...]
+    chrome-repro run all
+
+Every experiment prints the same rows/series as the corresponding paper
+table or figure (see DESIGN.md §4 for the index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments.figures import EXPERIMENTS, _register_ablations, run_experiment
+from .experiments.report import render
+from .experiments.runner import ExperimentScale, Runner
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chrome-repro",
+        description="Regenerate CHROME (HPCA 2024) tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (fig1..fig16, tab3/4/7, all)")
+    run.add_argument("--scale", type=float, help="machine/working-set scale factor")
+    run.add_argument("--accesses", type=int, help="measured accesses per core")
+    run.add_argument("--warmup", type=int, help="warmup accesses per core")
+    run.add_argument("--workloads", type=int, help="workload cap per figure (0=all)")
+    run.add_argument("--mixes", type=int, help="heterogeneous mixes for fig10/11")
+    return parser
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    base = ExperimentScale.from_env()
+    return ExperimentScale(
+        machine_scale=args.scale if args.scale is not None else base.machine_scale,
+        accesses_per_core=(
+            args.accesses if args.accesses is not None else base.accesses_per_core
+        ),
+        warmup_per_core=(
+            args.warmup if args.warmup is not None else base.warmup_per_core
+        ),
+        workload_limit=(
+            args.workloads if args.workloads is not None else base.workload_limit
+        ),
+        hetero_mixes=args.mixes if args.mixes is not None else base.hetero_mixes,
+    )
+
+
+def _run_cli(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    _register_ablations()
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    scale = _scale_from_args(args)
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if any(t not in EXPERIMENTS for t in targets):
+        unknown = [t for t in targets if t not in EXPERIMENTS]
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    runner = Runner(scale)
+    for target in targets:
+        start = time.time()
+        result = run_experiment(target, runner)
+        print(render(result))
+        print(f"[{target} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console entry point (handles downstream pipe closure gracefully)."""
+    try:
+        return _run_cli(argv)
+    except BrokenPipeError:
+        # e.g. `chrome-repro list | head` — downstream closed the pipe.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

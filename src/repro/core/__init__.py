@@ -1,0 +1,71 @@
+"""CHROME — the paper's primary contribution.
+
+Public surface:
+
+* :class:`ChromePolicy` / :func:`make_nchrome_policy` — the RL agent as
+  an LLC replacement policy;
+* :class:`ChromeConfig` / :class:`RewardConfig` — Table II parameters;
+* :class:`QTable`, :class:`EvaluationQueue` — the two hardware
+  structures (Secs. V-C, V-D);
+* :class:`FeatureExtractor` and :data:`FEATURE_REGISTRY` — Table I
+  program features;
+* :func:`chrome_overhead` / :func:`overhead_comparison` — Tables III/IV.
+"""
+
+from .chrome import ChromePolicy, make_nchrome_policy
+from .config import (
+    ACTION_BYPASS,
+    ACTION_EPV_HIGH,
+    ACTION_EPV_LOW,
+    ACTION_EPV_MED,
+    ACTION_NAMES,
+    ACTION_TO_EPV,
+    EPV_MAX,
+    HIT_ACTIONS,
+    MISS_ACTIONS,
+    NUM_ACTIONS,
+    ChromeConfig,
+)
+from .eq import EQEntry, EvaluationQueue, hash_block_address
+from .features import DEFAULT_FEATURES, FEATURE_REGISTRY, FeatureContext, FeatureExtractor
+from .overhead import (
+    OverheadBreakdown,
+    SchemeOverhead,
+    chrome_overhead,
+    eq_overhead_kb,
+    overhead_comparison,
+    overhead_fraction_of_llc,
+)
+from .qtable import QTable
+from .rewards import RewardConfig
+
+__all__ = [
+    "ACTION_BYPASS",
+    "ACTION_EPV_HIGH",
+    "ACTION_EPV_LOW",
+    "ACTION_EPV_MED",
+    "ACTION_NAMES",
+    "ACTION_TO_EPV",
+    "EPV_MAX",
+    "HIT_ACTIONS",
+    "MISS_ACTIONS",
+    "NUM_ACTIONS",
+    "ChromeConfig",
+    "ChromePolicy",
+    "DEFAULT_FEATURES",
+    "EQEntry",
+    "EvaluationQueue",
+    "FEATURE_REGISTRY",
+    "FeatureContext",
+    "FeatureExtractor",
+    "OverheadBreakdown",
+    "QTable",
+    "RewardConfig",
+    "SchemeOverhead",
+    "chrome_overhead",
+    "eq_overhead_kb",
+    "hash_block_address",
+    "make_nchrome_policy",
+    "overhead_comparison",
+    "overhead_fraction_of_llc",
+]

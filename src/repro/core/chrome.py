@@ -1,0 +1,241 @@
+"""CHROME — the RL-based holistic LLC management agent (Secs. IV & V).
+
+This module implements Algorithm 1 end to end as an LLC
+:class:`~repro.sim.replacement.base.ReplacementPolicy`:
+
+* **RL decision task** — every LLC demand/prefetch access becomes a
+  state vector (PC signature + page number); the agent picks the
+  Q-maximal legal action (epsilon-greedy): on a miss, bypass or insert
+  with one of three EPVs; on a hit, set the block's EPV;
+* **RL training task** — actions on the 64 sampled sets are recorded in
+  the per-set EQ FIFOs; re-requests assign R_AC/R_IN rewards; entries
+  evicted without a reward get the NR rewards, judged with the live
+  LLC-obstruction flags from the C-AMAT monitor; every EQ eviction
+  performs one SARSA update pairing the evicted entry with the queue's
+  new head.
+
+Eviction among cached blocks follows the EPVs: the victim is the block
+with the highest eviction priority, oldest-first among ties.
+
+``N-CHROME`` (Sec. VII-C) is the same agent with concurrency-blind
+rewards; build it with :func:`make_nchrome_policy` or
+``ChromeConfig.as_nchrome()``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..sim.access import WRITEBACK, AccessInfo
+from ..sim.block import CacheBlock
+from ..sim.camat import CAMATMonitor
+from ..sim.replacement.base import ReplacementPolicy
+from ..sim.replacement.optgen import choose_sampled_sets
+from .config import (
+    ACTION_BYPASS,
+    ACTION_EPV_HIGH,
+    ACTION_TO_EPV,
+    EPV_MAX,
+    HIT_ACTIONS,
+    MISS_ACTIONS,
+    ChromeConfig,
+)
+from .eq import EQEntry, EvaluationQueue, hash_block_address
+from .features import FeatureExtractor
+from .qtable import QTable
+
+
+class ChromePolicy(ReplacementPolicy):
+    """Concurrency-aware holistic RL cache management."""
+
+    name = "chrome"
+
+    def __init__(self, config: Optional[ChromeConfig] = None) -> None:
+        super().__init__()
+        self.config = config or ChromeConfig()
+        self.features = FeatureExtractor(self.config.features)
+        self.qtable = QTable(self.features.num_features, self.config)
+        self.eq = EvaluationQueue(self.config.sampled_sets, self.config.eq_fifo_size)
+        self._rng = random.Random(self.config.seed)
+        # Legal-action orderings (first element wins arg-max ties);
+        # instance attributes so variants/ablations can reorder them.
+        self._miss_actions: Tuple[int, ...] = MISS_ACTIONS
+        self._hit_actions: Tuple[int, ...] = HIT_ACTIONS
+        self._camat: Optional[CAMATMonitor] = None
+        self._sampled_queue: Dict[int, int] = {}
+        # Action chosen by should_bypass(), consumed by the fill that follows.
+        self._pending_fill: Optional[Tuple[int, int]] = None  # (block, action)
+        # telemetry
+        self.sampled_accesses = 0
+        self.decisions = 0
+        self.explorations = 0
+        self.bypass_decisions = 0
+
+    # --- wiring -----------------------------------------------------------------
+
+    def attach(self, num_sets: int, num_ways: int) -> None:
+        super().attach(num_sets, num_ways)
+        sampled = sorted(choose_sampled_sets(num_sets, self.config.sampled_sets))
+        self._sampled_queue = {s: i for i, s in enumerate(sampled)}
+        if len(sampled) != self.eq.num_queues:
+            self.eq = EvaluationQueue(len(sampled), self.config.eq_fifo_size)
+
+    def bind_camat(self, monitor: CAMATMonitor) -> None:
+        """Receive the C-AMAT monitor supplying LLC-obstruction flags."""
+        self._camat = monitor
+
+    # --- the RL decision + training pipeline ------------------------------------
+
+    def _decide(self, info: AccessInfo, hit: bool) -> int:
+        """Lines 2-38 of Algorithm 1 for one LLC access."""
+        queue_idx = self._sampled_queue.get(info.set_index)
+        hashed = hash_block_address(info.block_addr) if queue_idx is not None else 0
+
+        if queue_idx is not None:
+            self.sampled_accesses += 1
+            # Lines 3-8: reward a matching earlier action.
+            entry = self.eq.find(queue_idx, hashed)
+            if entry is not None and not entry.has_reward:
+                self.eq.reward_matches += 1
+                rewards = self.config.rewards
+                if hit:
+                    entry.reward = rewards.accurate(info.is_prefetch)
+                else:
+                    entry.reward = rewards.inaccurate(info.is_prefetch)
+
+        # Line 9: extract the state vector.
+        state = self.features.extract(
+            pc=info.pc,
+            address=info.address,
+            core=info.core,
+            hit=hit,
+            is_prefetch=info.is_prefetch,
+        )
+
+        # Lines 10-19: epsilon-greedy action selection over legal actions.
+        legal = self._hit_actions if hit else self._miss_actions
+        self.decisions += 1
+        if self._rng.random() < self.config.epsilon:
+            action = legal[self._rng.randrange(len(legal))]
+            self.explorations += 1
+        else:
+            action = self.qtable.best_action(state, legal)
+
+        # Lines 21-38: record the action on sampled sets; learn on eviction.
+        if queue_idx is not None:
+            new_entry = EQEntry(
+                state=state,
+                action=action,
+                trigger_hit=hit,
+                hashed_addr=hashed,
+                core=info.core,
+            )
+            evicted, head = self.eq.insert(queue_idx, new_entry)
+            if evicted is not None and head is not None:
+                if not evicted.has_reward:
+                    evicted.reward = self._no_rerequest_reward(evicted)
+                self._sarsa_update(evicted, head)
+        return action
+
+    def _no_rerequest_reward(self, entry: EQEntry) -> float:
+        """NR rewards (lines 24-34): praise actions that de-prioritized a
+        block nobody asked for again, penalize actions that retained it;
+        magnitudes scale with the acting core's LLC obstruction."""
+        rewards = self.config.rewards
+        obstructed = (
+            self._camat.is_obstructed(entry.core) if self._camat is not None else False
+        )
+        if entry.trigger_hit:
+            deprioritized = entry.action == ACTION_EPV_HIGH
+        else:
+            deprioritized = entry.action == ACTION_BYPASS
+        if deprioritized:
+            return rewards.accurate_no_rerequest(obstructed)
+        return rewards.inaccurate_no_rerequest(obstructed)
+
+    def _sarsa_update(self, evicted: EQEntry, head: EQEntry) -> None:
+        """Line 38: Q(S1,A1) += alpha [R + gamma Q(S2,A2) - Q(S1,A1)]."""
+        cfg = self.config
+        q_next = self.qtable.q(head.state, head.action)
+        q_cur = self.qtable.q(evicted.state, evicted.action)
+        assert evicted.reward is not None
+        delta = cfg.alpha * (evicted.reward + cfg.gamma * q_next - q_cur)
+        self.qtable.apply_delta(evicted.state, evicted.action, delta)
+
+    # --- ReplacementPolicy hooks ------------------------------------------------
+
+    def should_bypass(self, info: AccessInfo) -> bool:
+        """Miss path: choose among bypass / insert-with-EPV."""
+        action = self._decide(info, hit=False)
+        if action == ACTION_BYPASS:
+            self.bypass_decisions += 1
+            self._pending_fill = None
+            return True
+        self._pending_fill = (info.block_addr, action)
+        return False
+
+    def on_fill(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        if info.type == WRITEBACK:
+            # Writebacks are not RL-managed: park them at highest priority.
+            blocks[way].epv = EPV_MAX
+            return
+        pending = self._pending_fill
+        self._pending_fill = None
+        if pending is not None and pending[0] == info.block_addr:
+            blocks[way].epv = ACTION_TO_EPV[pending[1]]
+        else:
+            blocks[way].epv = EPV_MAX
+
+    def on_hit(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        if info.type == WRITEBACK:
+            return
+        action = self._decide(info, hit=True)
+        blocks[way].epv = ACTION_TO_EPV[action]
+
+    def find_victim(self, info: AccessInfo, blocks: Sequence[CacheBlock]) -> int:
+        """Highest EPV first; LRU among equals."""
+        best_way = 0
+        best_epv = -1
+        best_touch = float("inf")
+        for way, block in enumerate(blocks):
+            if block.epv > best_epv or (
+                block.epv == best_epv and block.last_touch < best_touch
+            ):
+                best_way, best_epv, best_touch = way, block.epv, block.last_touch
+        return best_way
+
+    # --- reporting ---------------------------------------------------------------
+
+    def telemetry(self) -> dict:
+        """Run counters used by the experiments (UPKSA for Table VII,
+        exploration/bypass rates, Q-value health)."""
+        upksa = (
+            1000.0 * self.qtable.updates / self.sampled_accesses
+            if self.sampled_accesses
+            else 0.0
+        )
+        return {
+            "decisions": self.decisions,
+            "explorations": self.explorations,
+            "bypass_decisions": self.bypass_decisions,
+            "sampled_accesses": self.sampled_accesses,
+            "q_updates": self.qtable.updates,
+            "upksa": upksa,
+            "eq_reward_matches": self.eq.reward_matches,
+            **self.qtable.snapshot_stats(),
+        }
+
+    def storage_overhead_bits(self) -> int:
+        qtable = self.qtable.storage_bits()
+        eq = self.eq.storage_bits()
+        metadata = self.num_sets * self.num_ways * 2  # 2-bit EPV per block
+        return qtable + eq + metadata
+
+
+def make_nchrome_policy(config: Optional[ChromeConfig] = None) -> ChromePolicy:
+    """Build N-CHROME: CHROME minus concurrency-aware rewards (Sec. VII-C)."""
+    base = config or ChromeConfig()
+    policy = ChromePolicy(base.as_nchrome())
+    policy.name = "n-chrome"
+    return policy

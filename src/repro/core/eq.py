@@ -1,0 +1,98 @@
+"""The Evaluation Queue (EQ) — CHROME's action-outcome recorder
+(Secs. V-A, V-D; Table III).
+
+CHROME cannot judge an action when it takes it; the verdict arrives
+later, when (or if) the block's address is requested again.  The EQ
+holds each recent action on a *sampled* set until its outcome is known:
+
+* organized as **64 independent FIFO queues**, one per sampled set,
+  each holding **28 entries** (the Table VII sweep varies this);
+* each entry stores the state vector, the 2-bit action, a trigger bit
+  (was the action taken on a hit or a miss), a 16-bit hashed block
+  address, and the assigned reward (58 bits total per Table III);
+* a re-request that matches an entry's address assigns R_AC/R_IN;
+* an entry evicted without a reward gets an NR reward, judged with the
+  concurrency feedback current at eviction time;
+* every eviction triggers one SARSA update pairing the evicted entry
+  (S_t, A_t) with the queue's new head (S_{t+1}, A_{t+1}).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from ..sim.address import fold_hash
+
+ADDR_HASH_BITS = 16
+
+
+def hash_block_address(block_addr: int) -> int:
+    """The 16-bit hashed address an EQ entry stores (Table III)."""
+    return fold_hash(block_addr, ADDR_HASH_BITS)
+
+
+@dataclass(slots=True)
+class EQEntry:
+    """One recorded action awaiting evaluation."""
+
+    state: Tuple[int, ...]
+    action: int
+    trigger_hit: bool
+    hashed_addr: int
+    core: int
+    reward: Optional[float] = None
+
+    @property
+    def has_reward(self) -> bool:
+        return self.reward is not None
+
+
+class EvaluationQueue:
+    """Per-sampled-set FIFO queues of recent CHROME actions."""
+
+    def __init__(self, num_queues: int, fifo_size: int) -> None:
+        if fifo_size <= 1:
+            raise ValueError("EQ FIFOs need at least 2 entries for SARSA pairs")
+        self.num_queues = num_queues
+        self.fifo_size = fifo_size
+        self._queues: List[Deque[EQEntry]] = [deque() for _ in range(num_queues)]
+        self.inserts = 0
+        self.evictions = 0
+        self.reward_matches = 0
+
+    def find(self, queue_idx: int, hashed_addr: int) -> Optional[EQEntry]:
+        """Newest-first search for an entry recorded for this address."""
+        queue = self._queues[queue_idx]
+        for entry in reversed(queue):
+            if entry.hashed_addr == hashed_addr:
+                return entry
+        return None
+
+    def insert(
+        self, queue_idx: int, entry: EQEntry
+    ) -> Tuple[Optional[EQEntry], Optional[EQEntry]]:
+        """Append ``entry``; if the FIFO is full, evict the oldest.
+
+        Returns ``(evicted_entry, new_head)`` — the SARSA pair — or
+        ``(None, None)`` when the queue had room.
+        """
+        queue = self._queues[queue_idx]
+        self.inserts += 1
+        evicted = None
+        if len(queue) >= self.fifo_size:
+            evicted = queue.popleft()
+            self.evictions += 1
+        queue.append(entry)
+        head = queue[0] if evicted is not None else None
+        return evicted, head
+
+    def occupancy(self, queue_idx: int) -> int:
+        return len(self._queues[queue_idx])
+
+    def storage_bits(self, state_bits: int = 33) -> int:
+        """Table III's EQ row: queues x entries x 58 bits
+        (state 33 + action 2 + reward 6 + hashed address 16 + trigger 1)."""
+        entry_bits = state_bits + 2 + 6 + ADDR_HASH_BITS + 1
+        return self.num_queues * self.fifo_size * entry_bits

@@ -1,0 +1,227 @@
+"""Program-feature extraction for CHROME's state vector (Sec. IV-A).
+
+Table I lists the candidate features (control-flow, data-access, and
+combinations).  After feature selection the paper settles on a
+2-dimensional state ``S_t = (PC_t, PN_t)``:
+
+* **PC signature** — the load PC hashed together with the hit/miss
+  outcome of the current access, an ``is_prefetch`` bit (so demand and
+  prefetch behaviour is learned independently), and the core id (so
+  per-core behaviour is separable in multi-core mixes);
+* **page number** — the physical page of the access, a data-access
+  feature complementing the control-flow PC.
+
+Every feature is folded to ``FEATURE_BITS`` bits, giving the 33-bit
+two-feature state the EQ stores (Table III: state 33 bits — 17-bit PC
+signature + 16-bit page number).
+
+The registry also implements the remaining Table I features so the
+feature-ablation experiment (Fig. 15) and downstream users can compose
+alternative state vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..sim.address import fold_hash, page_number, page_offset
+
+PC_SIG_BITS = 17
+PAGE_BITS_FEATURE = 16
+GENERIC_BITS = 16
+
+
+@dataclass(frozen=True)
+class FeatureContext:
+    """Inputs available when the state vector is built (one LLC access)."""
+
+    pc: int
+    address: int
+    core: int
+    hit: bool
+    is_prefetch: bool
+    last_pcs: Tuple[int, ...] = ()
+    last_deltas: Tuple[int, ...] = ()
+
+
+FeatureFn = Callable[[FeatureContext], int]
+
+
+def pc_signature(ctx: FeatureContext) -> int:
+    """Hashed PC signature with hit/miss, is_prefetch and core folded in."""
+    raw = (ctx.pc << 3) | (ctx.core & 0x1) << 2 | (1 if ctx.is_prefetch else 0) << 1 | (
+        1 if ctx.hit else 0
+    )
+    raw ^= ctx.core << 40  # full core id disambiguation ('PC+core', Sec. IV-A)
+    return fold_hash(raw, PC_SIG_BITS)
+
+
+def page_number_feature(ctx: FeatureContext) -> int:
+    """Physical page number (data-access feature, Table I)."""
+    return fold_hash(page_number(ctx.address) ^ (ctx.core << 48), PAGE_BITS_FEATURE)
+
+
+def address_feature(ctx: FeatureContext) -> int:
+    """Block address (data-access feature, Table I)."""
+    return fold_hash((ctx.address >> 6) ^ (ctx.core << 48), GENERIC_BITS)
+
+
+def page_offset_feature(ctx: FeatureContext) -> int:
+    """Block-granular page offset (data-access feature)."""
+    return fold_hash(page_offset(ctx.address) >> 6, GENERIC_BITS)
+
+
+def address_delta_feature(ctx: FeatureContext) -> int:
+    """Most recent address delta (data-access feature)."""
+    delta = ctx.last_deltas[-1] if ctx.last_deltas else 0
+    return fold_hash(delta & ((1 << 32) - 1), GENERIC_BITS)
+
+
+def delta_sequence_feature(ctx: FeatureContext) -> int:
+    """Hash of the last 4 address deltas (Table I)."""
+    acc = 0
+    for d in ctx.last_deltas[-4:]:
+        acc = (acc * 1000003) ^ (d & ((1 << 24) - 1))
+    return fold_hash(acc, GENERIC_BITS)
+
+
+def pc_sequence_feature(ctx: FeatureContext) -> int:
+    """Hash of the last 4 PCs (control-flow feature)."""
+    acc = 0
+    for pc in ctx.last_pcs[-4:]:
+        acc = (acc * 1000003) ^ pc
+    return fold_hash(acc, GENERIC_BITS)
+
+
+def pc_plus_delta_feature(ctx: FeatureContext) -> int:
+    """PC combined with the last delta (combination)."""
+    delta = ctx.last_deltas[-1] if ctx.last_deltas else 0
+    return fold_hash((ctx.pc << 20) ^ (delta & ((1 << 20) - 1)), GENERIC_BITS)
+
+
+def pc_plus_page_feature(ctx: FeatureContext) -> int:
+    """PC combined with the page number (combination)."""
+    return fold_hash((ctx.pc << 24) ^ page_number(ctx.address), GENERIC_BITS)
+
+
+def pc_plus_offset_feature(ctx: FeatureContext) -> int:
+    """PC combined with the page offset (combination)."""
+    return fold_hash((ctx.pc << 12) ^ (page_offset(ctx.address) >> 6), GENERIC_BITS)
+
+
+#: All Table I features, by name.  CHROME's default state is
+#: ("pc_sig", "page") per Sec. IV-A's feature-selection outcome.
+FEATURE_REGISTRY: Dict[str, FeatureFn] = {
+    "pc_sig": pc_signature,
+    "page": page_number_feature,
+    "address": address_feature,
+    "page_offset": page_offset_feature,
+    "delta": address_delta_feature,
+    "delta_seq": delta_sequence_feature,
+    "pc_seq": pc_sequence_feature,
+    "pc_delta": pc_plus_delta_feature,
+    "pc_page": pc_plus_page_feature,
+    "pc_offset": pc_plus_offset_feature,
+}
+
+DEFAULT_FEATURES: Tuple[str, ...] = ("pc_sig", "page")
+
+
+#: features whose value depends on access history (sequences/deltas)
+_HISTORY_FEATURES = frozenset({"pc_seq", "delta", "delta_seq", "pc_delta"})
+
+_CACHE_LIMIT = 1 << 20
+
+
+@dataclass
+class FeatureExtractor:
+    """Builds CHROME's state vector from a configured feature list.
+
+    Maintains the short per-core control-flow/data-access history that
+    the sequence/delta features of Table I require, and memoizes the
+    (pure) hash computations of the default features — the extractor
+    runs once per LLC access, so this is on the simulator's hot path.
+    """
+
+    feature_names: Sequence[str] = DEFAULT_FEATURES
+    history_length: int = 4
+    _fns: List[FeatureFn] = field(default_factory=list)
+    _pc_history: Dict[int, List[int]] = field(default_factory=dict)
+    _addr_history: Dict[int, List[int]] = field(default_factory=dict)
+    _needs_history: bool = False
+    _default_fast: bool = False
+    _pc_sig_cache: Dict[Tuple[int, int, bool, bool], int] = field(default_factory=dict)
+    _page_cache: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = [n for n in self.feature_names if n not in FEATURE_REGISTRY]
+        if unknown:
+            raise KeyError(
+                f"unknown features {unknown}; available: {sorted(FEATURE_REGISTRY)}"
+            )
+        self._fns = [FEATURE_REGISTRY[n] for n in self.feature_names]
+        self._needs_history = any(n in _HISTORY_FEATURES for n in self.feature_names)
+        self._default_fast = tuple(self.feature_names) == ("pc_sig", "page")
+
+    def _pc_sig(self, pc: int, core: int, hit: bool, is_prefetch: bool) -> int:
+        key = (pc, core, hit, is_prefetch)
+        value = self._pc_sig_cache.get(key)
+        if value is None:
+            ctx = FeatureContext(pc, 0, core, hit, is_prefetch)
+            value = pc_signature(ctx)
+            if len(self._pc_sig_cache) < _CACHE_LIMIT:
+                self._pc_sig_cache[key] = value
+        return value
+
+    def _page(self, address: int, core: int) -> int:
+        key = (address >> 12, core)
+        value = self._page_cache.get(key)
+        if value is None:
+            ctx = FeatureContext(0, address, core, False, False)
+            value = page_number_feature(ctx)
+            if len(self._page_cache) < _CACHE_LIMIT:
+                self._page_cache[key] = value
+        return value
+
+    def extract(
+        self, pc: int, address: int, core: int, hit: bool, is_prefetch: bool
+    ) -> Tuple[int, ...]:
+        """Return the state vector for one LLC access and update history."""
+        if self._default_fast:
+            return (
+                self._pc_sig(pc, core, hit, is_prefetch),
+                self._page(address, core),
+            )
+        if self._needs_history:
+            pcs = self._pc_history.setdefault(core, [])
+            addrs = self._addr_history.setdefault(core, [])
+            seq = addrs + [address]  # delta features include the current access
+            deltas = tuple(seq[i + 1] - seq[i] for i in range(len(seq) - 1))
+            last_pcs = tuple(pcs)
+        else:
+            pcs = addrs = None
+            deltas = ()
+            last_pcs = ()
+        ctx = FeatureContext(
+            pc=pc,
+            address=address,
+            core=core,
+            hit=hit,
+            is_prefetch=is_prefetch,
+            last_pcs=last_pcs,
+            last_deltas=deltas,
+        )
+        state = tuple(fn(ctx) for fn in self._fns)
+        if self._needs_history:
+            pcs.append(pc)
+            addrs.append(address)
+            if len(pcs) > self.history_length:
+                del pcs[0]
+            if len(addrs) > self.history_length + 1:
+                del addrs[0]
+        return state
+
+    @property
+    def num_features(self) -> int:
+        return len(self._fns)

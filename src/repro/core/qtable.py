@@ -1,0 +1,194 @@
+"""CHROME's feature-sliced Q-table (Sec. V-C, Fig. 5).
+
+A monolithic Q-table over the full (PC signature x page number) state
+space would be enormous, so CHROME:
+
+1. **partitions by feature** — one table section per state feature,
+   holding Q-values for *feature-action* pairs; the state-action
+   Q-value is the **max** over its features' Q-values, so every action
+   is driven by the feature that is most confident about it;
+2. **slices each feature table into sub-tables** — each sub-table is
+   indexed by a different hash of the feature (XOR with a per-sub-table
+   constant, then fold), and stores a *partial* Q-value; the
+   feature-action Q-value is the **sum** of its partial values.  This
+   trades collisions for storage, balancing resolution against
+   generalization exactly like Pythia's feature tables.
+
+Hardware stores 16-bit fixed-point Q-values; we quantize to the same
+grid (``fraction_bits`` fractional bits) after every update so learning
+dynamics match the implementable design.
+
+Implementation note: storage is plain nested lists, not numpy — the
+rows are 4 elements wide and are touched once per LLC access, where
+list indexing is several times faster than small-array numpy ops.
+Row indices (4 hashes per feature value) are memoized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..sim.address import mix_hash
+from .config import NUM_ACTIONS, ChromeConfig
+
+# Per-sub-table XOR constants (arbitrary but fixed, like the RTL would bake in).
+_SUBTABLE_XOR = (
+    0x0000000000000000,
+    0x5555555555555555,
+    0x3333333333333333,
+    0x0F0F0F0F0F0F0F0F,
+    0x00FF00FF00FF00FF,
+    0xFFFF0000FFFF0000,
+    0x0F0F0F0F00000000,
+    0x9E3779B97F4A7C15,
+)
+
+
+class QTable:
+    """Q-value storage for all observed feature-action pairs."""
+
+    def __init__(self, num_features: int, config: ChromeConfig) -> None:
+        if config.num_subtables > len(_SUBTABLE_XOR):
+            raise ValueError(f"at most {len(_SUBTABLE_XOR)} sub-tables supported")
+        self.config = config
+        self.num_features = num_features
+        self.num_subtables = config.num_subtables
+        self.rows = config.rows_per_subtable
+        self._row_mask = self.rows - 1
+        if self.rows & self._row_mask:
+            raise ValueError("rows per sub-table must be a power of two")
+        self._quantum = 1.0 / (1 << config.q_fixed_point_fraction_bits)
+        limit = (1 << (config.q_value_bits - 1)) * self._quantum
+        self._clamp = (-limit, limit - self._quantum)
+        init = config.optimistic_q / self.num_subtables
+        init = round(init / self._quantum) * self._quantum
+        # tables[feature][subtable][row] -> [q per action]
+        self._tables: List[List[List[List[float]]]] = [
+            [
+                [[init] * NUM_ACTIONS for _ in range(self.rows)]
+                for _ in range(self.num_subtables)
+            ]
+            for _ in range(num_features)
+        ]
+        # feature value -> per-sub-table row indices (hashing is pure, so
+        # the cache is exact; it is bounded by the feature bit-widths).
+        self._index_cache: Dict[int, Tuple[int, ...]] = {}
+        # (feature, value) -> live references to its sub-table rows; rows
+        # are mutated in place by apply_delta, so the cache stays valid.
+        self._row_cache: Dict[Tuple[int, int], Tuple[List[float], ...]] = {}
+        self.lookups = 0
+        self.updates = 0
+
+    # --- indexing (pipeline stages 1-2 of Fig. 5) -----------------------------
+
+    def _row_indices(self, feature_value: int) -> Tuple[int, ...]:
+        cached = self._index_cache.get(feature_value)
+        if cached is None:
+            mask = self._row_mask
+            cached = tuple(
+                mix_hash(feature_value ^ _SUBTABLE_XOR[k]) & mask
+                for k in range(self.num_subtables)
+            )
+            if len(self._index_cache) < (1 << 21):
+                self._index_cache[feature_value] = cached
+        return cached
+
+    # --- lookup (stages 3-5) ------------------------------------------------------
+
+    def _rows_for(self, feature_idx: int, feature_value: int) -> Tuple[List[float], ...]:
+        key = (feature_idx, feature_value)
+        rows = self._row_cache.get(key)
+        if rows is None:
+            tables = self._tables[feature_idx]
+            rows = tuple(
+                tables[k][idx] for k, idx in enumerate(self._row_indices(feature_value))
+            )
+            if len(self._row_cache) < (1 << 21):
+                self._row_cache[key] = rows
+        return rows
+
+    def feature_q_values(self, feature_idx: int, feature_value: int) -> List[float]:
+        """Q(f, A) for every action: sum of the sub-tables' partial values."""
+        rows = self._rows_for(feature_idx, feature_value)
+        first = rows[0]
+        acc = list(first)
+        for row in rows[1:]:
+            for a in range(NUM_ACTIONS):
+                acc[a] += row[a]
+        return acc
+
+    def q_values(self, state: Sequence[int]) -> List[float]:
+        """Q(S, A) for every action: max over the state's features."""
+        self.lookups += 1
+        best = self.feature_q_values(0, state[0])
+        for f in range(1, self.num_features):
+            other = self.feature_q_values(f, state[f])
+            for a in range(NUM_ACTIONS):
+                if other[a] > best[a]:
+                    best[a] = other[a]
+        return best
+
+    def q(self, state: Sequence[int], action: int) -> float:
+        return self.q_values(state)[action]
+
+    def best_action(self, state: Sequence[int], legal: Sequence[int]) -> int:
+        """Arg-max over legal actions (fixed-order tie-break)."""
+        values = self.q_values(state)
+        best_action, best_value = legal[0], values[legal[0]]
+        for action in legal[1:]:
+            if values[action] > best_value:
+                best_action, best_value = action, values[action]
+        return best_action
+
+    # --- update ------------------------------------------------------------------
+
+    def apply_delta(self, state: Sequence[int], action: int, delta: float) -> None:
+        """Move Q(S, A) by ``delta``.
+
+        Each feature's Q(f, A) moves by the full delta (both features
+        witnessed the decision), spread evenly over its sub-tables so
+        the partial values sum to the new target; results are quantized
+        to the 16-bit fixed-point grid.
+        """
+        self.updates += 1
+        share = delta / self.num_subtables
+        lo, hi = self._clamp
+        q = self._quantum
+        for f in range(self.num_features):
+            for row in self._rows_for(f, state[f]):
+                value = row[action] + share
+                value = round(value / q) * q
+                if value < lo:
+                    value = lo
+                elif value > hi:
+                    value = hi
+                row[action] = value
+
+    # --- introspection ---------------------------------------------------------------
+
+    def storage_bits(self) -> int:
+        """Exactly Table III's Q-table row: features x sub-tables x
+        entries x 16 bits."""
+        return (
+            self.num_features
+            * self.num_subtables
+            * self.rows
+            * NUM_ACTIONS
+            * self.config.q_value_bits
+        )
+
+    def snapshot_stats(self) -> dict:
+        values = [
+            v
+            for feature in self._tables
+            for subtable in feature
+            for row in subtable
+            for v in row
+        ]
+        return {
+            "lookups": self.lookups,
+            "updates": self.updates,
+            "q_min": min(values),
+            "q_max": max(values),
+            "q_mean": sum(values) / len(values),
+        }

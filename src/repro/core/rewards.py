@@ -1,0 +1,62 @@
+"""CHROME's reward structure (Sec. IV-C, Table II).
+
+Four reward families, each split by provenance or system feedback:
+
+* ``R_AC``  — the action's address was requested again and **hit**
+  (split demand/prefetch: the current request's type);
+* ``R_IN``  — the address was requested again but **missed** (the
+  action evicted/bypassed it too eagerly) — negative;
+* ``R_AC-NR`` — the address was *not* re-requested within the temporal
+  window and the action had (correctly) de-prioritized it: a bypass on
+  a miss, or assigning the highest EPV on a hit.  Split by whether the
+  acting core was LLC-obstructed (OB) or not (NOB);
+* ``R_IN-NR`` — the address was not re-requested but the action had
+  (incorrectly) retained it — negative, again split OB/NOB.
+
+The OB variants are larger in magnitude: relieving an obstructed core
+of useless cached blocks matters more (Sec. IV-C, objective 4).
+N-CHROME (Sec. VII-C) collapses OB onto NOB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Reward values; defaults are the tuned values of Table II."""
+
+    r_ac_demand: float = 20.0
+    r_ac_prefetch: float = 5.0
+    r_in_demand: float = -20.0
+    r_in_prefetch: float = -5.0
+    r_ac_nr_obstructed: float = 28.0
+    r_ac_nr_normal: float = 10.0
+    r_in_nr_obstructed: float = -22.0
+    r_in_nr_normal: float = -10.0
+
+    def accurate(self, is_prefetch: bool) -> float:
+        """R_AC: the re-request hit — the action kept the right block."""
+        return self.r_ac_prefetch if is_prefetch else self.r_ac_demand
+
+    def inaccurate(self, is_prefetch: bool) -> float:
+        """R_IN: the re-request missed — the action dropped a live block."""
+        return self.r_in_prefetch if is_prefetch else self.r_in_demand
+
+    def accurate_no_rerequest(self, obstructed: bool) -> float:
+        """R_AC-NR: no re-request and the action de-prioritized the block."""
+        return self.r_ac_nr_obstructed if obstructed else self.r_ac_nr_normal
+
+    def inaccurate_no_rerequest(self, obstructed: bool) -> float:
+        """R_IN-NR: no re-request but the action retained the block."""
+        return self.r_in_nr_obstructed if obstructed else self.r_in_nr_normal
+
+    def without_concurrency_awareness(self) -> "RewardConfig":
+        """The N-CHROME reward set (Sec. VII-C): OB collapsed onto NOB,
+        with R_AC-NR = 10 and R_IN-NR = -10 for every core."""
+        return replace(
+            self,
+            r_ac_nr_obstructed=self.r_ac_nr_normal,
+            r_in_nr_obstructed=self.r_in_nr_normal,
+        )

@@ -1,0 +1,30 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from .figures import EXPERIMENTS, run_experiment, spec_homogeneous_suite
+from .metrics import (
+    MixMetrics,
+    geometric_mean,
+    speedup_percent,
+    summarize,
+    weighted_speedup,
+)
+from .report import ExperimentResult, render, render_all
+from .runner import ExperimentScale, Runner, chrome_with, resolve_policy
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentScale",
+    "MixMetrics",
+    "Runner",
+    "chrome_with",
+    "geometric_mean",
+    "render",
+    "render_all",
+    "resolve_policy",
+    "run_experiment",
+    "spec_homogeneous_suite",
+    "speedup_percent",
+    "summarize",
+    "weighted_speedup",
+]

@@ -1,0 +1,89 @@
+"""Evaluation metrics (Sec. VI and the per-figure definitions).
+
+The paper reports *normalized weighted speedup over LRU*, the standard
+shared-cache metric [9], [12], [43]: for a mix, each core's IPC under
+the studied scheme is normalized to its IPC under LRU on the same mix,
+and the normalized values are averaged.  Aggregates across workloads
+use the geometric mean, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sim.multicore import SystemResult
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; tolerates empty input (returns 1.0)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 1.0
+    return math.exp(sum(math.log(v) for v in filtered) / len(filtered))
+
+
+def weighted_speedup(
+    scheme_ipcs: Sequence[float], baseline_ipcs: Sequence[float]
+) -> float:
+    """Normalized weighted speedup: mean of per-core IPC ratios."""
+    if len(scheme_ipcs) != len(baseline_ipcs):
+        raise ValueError("core counts differ between scheme and baseline")
+    ratios = []
+    for scheme, base in zip(scheme_ipcs, baseline_ipcs):
+        if base <= 0:
+            continue
+        ratios.append(scheme / base)
+    if not ratios:
+        return 1.0
+    return sum(ratios) / len(ratios)
+
+
+def speedup_percent(ws: float) -> float:
+    """Express a weighted speedup as the paper's percent-over-LRU."""
+    return (ws - 1.0) * 100.0
+
+
+@dataclass(frozen=True)
+class MixMetrics:
+    """Per-(mix, scheme) summary derived from two simulation runs."""
+
+    scheme: str
+    weighted_speedup: float
+    demand_miss_ratio: float
+    ephr: float
+    bypass_coverage: float
+    bypass_efficiency: float
+    unused_eviction_fraction: float
+    unused_prefetch_fraction: float
+    unused_requested_again_fraction: float
+    prefetcher_accuracy: float
+    upksa: float
+
+    @property
+    def speedup_percent(self) -> float:
+        return speedup_percent(self.weighted_speedup)
+
+
+def summarize(result: SystemResult, baseline: SystemResult) -> MixMetrics:
+    """Build :class:`MixMetrics` from a scheme run and its LRU baseline."""
+    mgmt = result.llc_mgmt
+    telemetry = result.extra.get("policy_telemetry", {})
+    return MixMetrics(
+        scheme=result.policy_name,
+        weighted_speedup=weighted_speedup(result.ipcs, baseline.ipcs),
+        demand_miss_ratio=result.llc_stats.demand_miss_ratio,
+        ephr=mgmt.ephr if mgmt else 0.0,
+        bypass_coverage=mgmt.bypass_coverage if mgmt else 0.0,
+        bypass_efficiency=mgmt.bypass_efficiency if mgmt else 0.0,
+        unused_eviction_fraction=mgmt.unused_eviction_fraction if mgmt else 0.0,
+        unused_prefetch_fraction=(
+            mgmt.unused_eviction_prefetch_fraction if mgmt else 0.0
+        ),
+        unused_requested_again_fraction=(
+            mgmt.unused_requested_again_fraction if mgmt else 0.0
+        ),
+        prefetcher_accuracy=result.prefetcher_accuracy,
+        upksa=float(telemetry.get("upksa", 0.0)),
+    )

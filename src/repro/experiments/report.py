@@ -1,0 +1,60 @@
+"""Fixed-width table rendering for experiment output.
+
+Every experiment yields an :class:`ExperimentResult`; the benchmark
+harness and CLI print it with :func:`render`, giving the same
+rows/series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated paper artifact (one table or figure)."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[List[object]]
+    notes: List[str] = field(default_factory=list)
+
+    def column(self, name: str) -> List[object]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_by_key(self, key: object) -> List[object]:
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(key)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render(result: ExperimentResult) -> str:
+    """Render an experiment as an aligned text table."""
+    header = [result.columns]
+    body = [[_format_cell(v) for v in row] for row in result.rows]
+    widths = [
+        max(len(str(row[i])) for row in header + body)
+        for i in range(len(result.columns))
+    ]
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    lines.append("  ".join(str(c).ljust(w) for c, w in zip(result.columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_all(results: Sequence[ExperimentResult]) -> str:
+    return "\n\n".join(render(r) for r in results)

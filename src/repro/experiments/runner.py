@@ -1,0 +1,231 @@
+"""Experiment runner: (mix, policy, prefetch config) -> metrics.
+
+The runner owns the bookkeeping every figure needs: building the
+simulated machine, running the LRU baseline for normalization (cached
+per mix so comparisons share one baseline run), and summarizing results
+into :class:`~repro.experiments.metrics.MixMetrics`.
+
+Run sizes are governed by :class:`ExperimentScale`; the defaults are a
+laptop-friendly reduction of the paper's 50M-warmup + 200M-instruction
+runs and can be overridden through environment variables:
+
+* ``REPRO_SCALE`` — machine/working-set scale factor (default 1/16);
+* ``REPRO_ACCESSES`` — measured memory accesses per core;
+* ``REPRO_WARMUP`` — warmup accesses per core;
+* ``REPRO_WORKLOADS`` — cap on workloads per figure (0 = all);
+* ``REPRO_MIXES`` — heterogeneous mixes for Fig. 10-style sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.chrome import ChromePolicy
+from ..core.config import ChromeConfig
+from ..sim.multicore import MultiCoreSystem, SystemConfig, SystemResult
+from ..sim.replacement import make_policy
+from ..sim.replacement.base import ReplacementPolicy
+from ..traces.mixes import heterogeneous_mix, homogeneous_mix
+from ..traces.trace import Trace
+from .metrics import MixMetrics, summarize
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    return float(raw) if raw else default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return int(raw) if raw else default
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Run-size knobs shared by every experiment."""
+
+    machine_scale: float = 1.0 / 16.0
+    accesses_per_core: int = 24_000
+    warmup_per_core: int = 6_000
+    workload_limit: int = 8  # 0 = all workloads
+    hetero_mixes: int = 12
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        base = cls()
+        return cls(
+            machine_scale=_env_float("REPRO_SCALE", base.machine_scale),
+            accesses_per_core=_env_int("REPRO_ACCESSES", base.accesses_per_core),
+            warmup_per_core=_env_int("REPRO_WARMUP", base.warmup_per_core),
+            workload_limit=_env_int("REPRO_WORKLOADS", base.workload_limit),
+            hetero_mixes=_env_int("REPRO_MIXES", base.hetero_mixes),
+        )
+
+    def limit_workloads(self, names: Sequence[str]) -> List[str]:
+        if self.workload_limit and self.workload_limit < len(names):
+            # Even spread keeps suite diversity when truncating.
+            step = len(names) / self.workload_limit
+            return [names[int(i * step)] for i in range(self.workload_limit)]
+        return list(names)
+
+
+PolicyFactory = Callable[[], ReplacementPolicy]
+
+#: sampled training sets at the paper's full machine scale (Sec. V-D)
+SAMPLED_SETS_FULL_SCALE = 64
+
+
+def resolve_policy(
+    policy: str | PolicyFactory | ReplacementPolicy,
+    machine_scale: float = 1.0,
+) -> ReplacementPolicy:
+    """Accept a registry name, factory, or ready policy instance.
+
+    When the machine is scaled down, every sampling-trained scheme
+    (Hawkeye, Glider, Mockingjay, CARE, CHROME) gets its sampled-set
+    count scaled *up* by the same factor: the paper's constant 64 sets
+    yields a fixed number of training observations per instruction at
+    full scale, and a 1/16-scale run must preserve that training
+    density or every learning scheme is unfairly under-trained.  The
+    hardware-overhead tables (III, IV, VII) always use the full-scale
+    64-set geometry.
+    """
+    if isinstance(policy, ReplacementPolicy):
+        return policy
+    if not isinstance(policy, str):
+        return policy()
+    sampled = scaled_sampled_sets(machine_scale)
+    if policy == "chrome":
+        from dataclasses import replace as _replace
+
+        return ChromePolicy(_replace(ChromeConfig(), sampled_sets=sampled))
+    if policy == "n-chrome":
+        from dataclasses import replace as _replace
+
+        from ..core.chrome import make_nchrome_policy
+
+        return make_nchrome_policy(_replace(ChromeConfig(), sampled_sets=sampled))
+    instance = make_policy(policy)
+    if hasattr(instance, "_sampled_target"):
+        instance._sampled_target = sampled
+    return instance
+
+
+def scaled_sampled_sets(machine_scale: float) -> int:
+    """Training-density-preserving sampled-set count for a scaled run."""
+    if machine_scale >= 1.0:
+        return SAMPLED_SETS_FULL_SCALE
+    return int(SAMPLED_SETS_FULL_SCALE / machine_scale)
+
+
+class Runner:
+    """Runs simulations and caches LRU baselines per mix."""
+
+    def __init__(self, scale: Optional[ExperimentScale] = None) -> None:
+        self.scale = scale or ExperimentScale.from_env()
+        self._baseline_cache: Dict[Tuple, SystemResult] = {}
+
+    # --- mix construction -------------------------------------------------------
+
+    def make_homogeneous(
+        self, name: str, num_cores: int, seed: int = 0
+    ) -> Tuple[Tuple, List[Trace]]:
+        total = self.scale.accesses_per_core + self.scale.warmup_per_core
+        traces = homogeneous_mix(
+            name, num_cores, total, seed=seed, scale=self.scale.machine_scale
+        )
+        key = ("homo", name, num_cores, seed)
+        return key, traces
+
+    def make_heterogeneous(
+        self, names: Sequence[str], seed: int = 0
+    ) -> Tuple[Tuple, List[Trace]]:
+        total = self.scale.accesses_per_core + self.scale.warmup_per_core
+        traces = heterogeneous_mix(
+            names, total, seed=seed, scale=self.scale.machine_scale
+        )
+        key = ("hetero", tuple(names), seed)
+        return key, traces
+
+    # --- execution ------------------------------------------------------------------
+
+    def run(
+        self,
+        policy: str | PolicyFactory | ReplacementPolicy,
+        traces: Sequence[Trace],
+        prefetch: str = "nl_stride",
+        num_cores: Optional[int] = None,
+    ) -> SystemResult:
+        """One simulation of ``traces`` under ``policy``."""
+        cores = num_cores or len(traces)
+        config = SystemConfig(num_cores=cores, scale=self.scale.machine_scale)
+        system = MultiCoreSystem(
+            config,
+            llc_policy=resolve_policy(policy, self.scale.machine_scale),
+            prefetch_config=prefetch,
+        )
+        return system.run(
+            traces,
+            max_accesses_per_core=self.scale.accesses_per_core
+            + self.scale.warmup_per_core,
+            warmup_accesses=self.scale.warmup_per_core,
+        )
+
+    def baseline(
+        self, mix_key: Tuple, traces: Sequence[Trace], prefetch: str = "nl_stride"
+    ) -> SystemResult:
+        """The LRU run for a mix (cached — every scheme shares it)."""
+        cache_key = (mix_key, prefetch, self.scale)
+        result = self._baseline_cache.get(cache_key)
+        if result is None:
+            result = self.run("lru", traces, prefetch=prefetch)
+            self._baseline_cache[cache_key] = result
+        return result
+
+    def compare(
+        self,
+        policies: Sequence[str | PolicyFactory | ReplacementPolicy],
+        mix_key: Tuple,
+        traces: Sequence[Trace],
+        prefetch: str = "nl_stride",
+    ) -> Dict[str, MixMetrics]:
+        """Run each policy on the mix; metrics normalized to shared LRU."""
+        base = self.baseline(mix_key, traces, prefetch=prefetch)
+        out: Dict[str, MixMetrics] = {}
+        for policy in policies:
+            instance = resolve_policy(policy, self.scale.machine_scale)
+            result = self.run(instance, traces, prefetch=prefetch)
+            out[result.policy_name] = summarize(result, base)
+        return out
+
+
+def chrome_with(
+    *,
+    features: Optional[Tuple[str, ...]] = None,
+    eq_fifo_size: Optional[int] = None,
+    alpha: Optional[float] = None,
+    gamma: Optional[float] = None,
+    epsilon: Optional[float] = None,
+    sampled_sets: Optional[int] = None,
+) -> ChromePolicy:
+    """Convenience factory for CHROME variants used in the sensitivity
+    studies (Figs. 15-16, Table VII)."""
+    config = ChromeConfig()
+    overrides = {}
+    if sampled_sets is not None:
+        overrides["sampled_sets"] = sampled_sets
+    if features is not None:
+        overrides["features"] = features
+    if eq_fifo_size is not None:
+        overrides["eq_fifo_size"] = eq_fifo_size
+    if alpha is not None:
+        overrides["alpha"] = alpha
+    if gamma is not None:
+        overrides["gamma"] = gamma
+    if epsilon is not None:
+        overrides["epsilon"] = epsilon
+    if overrides:
+        config = replace(config, **overrides)
+    return ChromePolicy(config)

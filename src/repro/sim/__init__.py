@@ -1,0 +1,58 @@
+"""Trace-driven multi-core memory-system simulator (the ChampSim
+substitute — see DESIGN.md for the substitution argument)."""
+
+from .access import DEMAND, PREFETCH, WRITEBACK, AccessInfo
+from .address import (
+    BLOCK_SIZE,
+    PAGE_SIZE,
+    block_address,
+    fold_hash,
+    mix_hash,
+    page_number,
+)
+from .block import CacheBlock
+from .cache import Cache
+from .camat import CAMATMonitor, CoreCAMATState
+from .core_model import CoreConfig, CoreTimingModel
+from .dram import DRAMConfig, DRAMModel
+from .hierarchy import CoreHierarchy
+from .mshr import MSHRFile
+from .multicore import (
+    PREFETCH_CONFIGS,
+    CoreResult,
+    MultiCoreSystem,
+    SystemConfig,
+    SystemResult,
+)
+from .stats import CacheStats, LLCManagementStats, PrefetcherStats
+
+__all__ = [
+    "AccessInfo",
+    "BLOCK_SIZE",
+    "Cache",
+    "CacheBlock",
+    "CacheStats",
+    "CAMATMonitor",
+    "CoreCAMATState",
+    "CoreConfig",
+    "CoreHierarchy",
+    "CoreResult",
+    "CoreTimingModel",
+    "DEMAND",
+    "DRAMConfig",
+    "DRAMModel",
+    "LLCManagementStats",
+    "MSHRFile",
+    "MultiCoreSystem",
+    "PAGE_SIZE",
+    "PREFETCH",
+    "PREFETCH_CONFIGS",
+    "PrefetcherStats",
+    "SystemConfig",
+    "SystemResult",
+    "WRITEBACK",
+    "block_address",
+    "fold_hash",
+    "mix_hash",
+    "page_number",
+]

@@ -1,0 +1,43 @@
+"""Access descriptor passed to replacement policies and prefetchers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEMAND = "demand"
+PREFETCH = "prefetch"
+WRITEBACK = "writeback"
+
+
+@dataclass(slots=True)
+class AccessInfo:
+    """Everything a cache-management policy may observe about an access.
+
+    This is the information CHROME's state vector is built from
+    (Table I): the PC of the triggering instruction, the full byte
+    address (hence page number / offset / deltas), the issuing core,
+    and whether the access is a demand, a prefetch, or a writeback.
+    ``hit`` is filled in by the cache before policy hooks run.
+    """
+
+    pc: int
+    address: int
+    block_addr: int
+    core: int
+    type: str = DEMAND  # DEMAND / PREFETCH / WRITEBACK
+    is_write: bool = False
+    cycle: float = 0.0
+    hit: bool = False
+    set_index: int = 0
+
+    @property
+    def is_prefetch(self) -> bool:
+        return self.type == PREFETCH
+
+    @property
+    def is_demand(self) -> bool:
+        return self.type == DEMAND
+
+    @property
+    def is_writeback(self) -> bool:
+        return self.type == WRITEBACK

@@ -1,0 +1,66 @@
+"""Address arithmetic helpers shared across the memory hierarchy.
+
+All caches use 64-byte blocks and the paging substrate uses 4 KiB
+pages, matching the paper's simulated configuration (Table V).
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 64
+BLOCK_BITS = 6  # log2(BLOCK_SIZE)
+PAGE_SIZE = 4096
+PAGE_BITS = 12  # log2(PAGE_SIZE)
+
+_GOLDEN64 = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def block_address(address: int) -> int:
+    """Return the block-aligned address containing ``address``."""
+    return address >> BLOCK_BITS
+
+
+def block_offset(address: int) -> int:
+    """Return the byte offset of ``address`` within its cache block."""
+    return address & (BLOCK_SIZE - 1)
+
+
+def page_number(address: int) -> int:
+    """Return the 4 KiB page number of ``address``."""
+    return address >> PAGE_BITS
+
+
+def page_offset(address: int) -> int:
+    """Return the byte offset of ``address`` within its page."""
+    return address & (PAGE_SIZE - 1)
+
+
+def set_index(block_addr: int, num_sets: int) -> int:
+    """Map a block address to a cache set (power-of-two set counts)."""
+    return block_addr & (num_sets - 1)
+
+
+def tag_of(block_addr: int, num_sets: int) -> int:
+    """Return the tag of a block address for a cache with ``num_sets`` sets."""
+    return block_addr // num_sets
+
+
+def mix_hash(value: int) -> int:
+    """Cheap deterministic 64-bit integer mixer (splitmix64 finalizer).
+
+    Used everywhere a hardware structure would employ a folded-XOR
+    index hash: Q-table sub-table indexing, PC signatures, predictor
+    tables.  Deterministic across runs and Python processes.
+    """
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+def fold_hash(value: int, bits: int) -> int:
+    """Fold a mixed 64-bit hash of ``value`` down to ``bits`` bits."""
+    return mix_hash(value * _GOLDEN64 & _MASK64) & ((1 << bits) - 1)
+
+
+def is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0

@@ -1,0 +1,53 @@
+"""Cache block (line) record used by every cache level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class CacheBlock:
+    """State of one cache way.
+
+    Beyond the architectural bits (tag/valid/dirty) the block carries
+    the provenance metadata every studied policy consumes: the PC that
+    filled it, the requesting core, and whether the block was brought
+    in by a prefetch and has not yet been demanded ("prefetched" status
+    is cleared on the first demand hit, exactly as in ChampSim).
+
+    ``epv`` is the 2-bit Eviction Priority Value used by CHROME and, in
+    RRPV form, by several baselines; ``last_touch`` is a per-cache
+    logical timestamp for LRU ordering.
+    """
+
+    tag: int = 0
+    valid: bool = False
+    dirty: bool = False
+    pc: int = 0
+    core: int = 0
+    is_prefetch: bool = False
+    epv: int = 0
+    last_touch: int = 0
+    fill_touch: int = 0
+    reused: bool = False  # saw any hit since fill (for unused-block stats)
+
+    def reset_for_fill(
+        self,
+        tag: int,
+        pc: int,
+        core: int,
+        is_prefetch: bool,
+        dirty: bool,
+        touch: int,
+    ) -> None:
+        """Reinitialize this way for a newly inserted block."""
+        self.tag = tag
+        self.valid = True
+        self.dirty = dirty
+        self.pc = pc
+        self.core = core
+        self.is_prefetch = is_prefetch
+        self.epv = 0
+        self.last_touch = touch
+        self.fill_touch = touch
+        self.reused = False

@@ -1,0 +1,203 @@
+"""Set-associative cache with pluggable management policy.
+
+One class serves every level: L1D and L2 instantiate it with plain LRU,
+the shared LLC with whichever scheme is under study.  The cache only
+resolves hits/misses, maintains block metadata, and invokes the policy
+hooks; all timing (latencies, MSHR delays, DRAM queueing) is composed
+by :mod:`repro.sim.hierarchy`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .access import DEMAND, PREFETCH, WRITEBACK, AccessInfo
+from .address import BLOCK_SIZE, is_power_of_two, set_index, tag_of
+from .block import CacheBlock
+from .mshr import MSHRFile
+from .replacement.base import ReplacementPolicy, oldest_way
+from .stats import CacheStats, LLCManagementStats
+
+
+class _TrueLRU(ReplacementPolicy):
+    """Internal true-LRU used by the private levels."""
+
+    name = "lru"
+
+    def find_victim(self, info: AccessInfo, blocks) -> int:
+        return oldest_way(blocks)
+
+
+class Cache:
+    """A single cache level.
+
+    Args:
+        name: label used in statistics.
+        size_bytes: total capacity; must give a power-of-two set count.
+        ways: associativity.
+        latency: hit latency in cycles (used by the hierarchy).
+        mshr_entries: miss-buffer capacity.
+        policy: replacement/bypass policy; defaults to true LRU.
+        track_mgmt_stats: enable LLC-style bypass/prefetch accounting.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        latency: float,
+        mshr_entries: int = 16,
+        policy: Optional[ReplacementPolicy] = None,
+        track_mgmt_stats: bool = False,
+    ) -> None:
+        num_sets = size_bytes // (BLOCK_SIZE * ways)
+        if num_sets <= 0 or not is_power_of_two(num_sets):
+            raise ValueError(
+                f"{name}: size {size_bytes}B / {ways} ways gives {num_sets} sets; "
+                "set count must be a positive power of two"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.num_sets = num_sets
+        self.num_ways = ways
+        self.latency = latency
+        self.policy = policy or _TrueLRU()
+        self.policy.attach(num_sets, ways)
+        self.mshr = MSHRFile(mshr_entries)
+        self.stats = CacheStats(name=name)
+        self.mgmt = LLCManagementStats() if track_mgmt_stats else None
+        self._blocks: List[List[CacheBlock]] = [
+            [CacheBlock() for _ in range(ways)] for _ in range(num_sets)
+        ]
+        self._tag_maps: List[Dict[int, int]] = [dict() for _ in range(num_sets)]
+        self._touch = 0
+
+    # --- lookup / access ---------------------------------------------------
+
+    def probe(self, block_addr: int) -> bool:
+        """Side-effect-free presence check."""
+        s = set_index(block_addr, self.num_sets)
+        return tag_of(block_addr, self.num_sets) in self._tag_maps[s]
+
+    def access(self, info: AccessInfo) -> Tuple[bool, bool]:
+        """Look up ``info.block_addr``; update state on a hit.
+
+        Returns ``(hit, first_demand_hit_on_prefetched_block)``.  The
+        second flag lets the hierarchy credit the issuing prefetcher.
+        """
+        s = set_index(info.block_addr, self.num_sets)
+        info.set_index = s
+        tag = tag_of(info.block_addr, self.num_sets)
+        if self.mgmt is not None and info.type == DEMAND:
+            self.mgmt.on_demand_request(info.block_addr)
+        way = self._tag_maps[s].get(tag)
+        hit = way is not None
+        info.hit = hit
+        self.stats.record(info.type, hit)
+        prefetch_first_hit = False
+        if hit:
+            block = self._blocks[s][way]
+            self._touch += 1
+            block.last_touch = self._touch
+            if info.is_write:
+                block.dirty = True
+            if not block.reused and info.type != WRITEBACK:
+                block.reused = True
+            if block.is_prefetch and info.type == DEMAND:
+                block.is_prefetch = False
+                prefetch_first_hit = True
+                if self.mgmt is not None:
+                    self.mgmt.on_prefetched_block_hit()
+            self.policy.on_hit(info, self._blocks[s], way)
+        return hit, prefetch_first_hit
+
+    # --- fill / bypass ------------------------------------------------------
+
+    def decide_bypass(self, info: AccessInfo) -> bool:
+        """Ask the policy whether this missing block should bypass.
+
+        Writebacks are always allocated (they carry dirty data that
+        must land somewhere on its way to memory).
+        """
+        if info.type == WRITEBACK:
+            return False
+        info.set_index = set_index(info.block_addr, self.num_sets)
+        bypass = self.policy.should_bypass(info)
+        if bypass and self.mgmt is not None:
+            self.mgmt.on_bypass(info.block_addr)
+        return bypass
+
+    def fill(self, info: AccessInfo, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Install the block; return ``(evicted_block_addr, was_dirty)``
+        if a valid block was displaced, else None."""
+        s = set_index(info.block_addr, self.num_sets)
+        info.set_index = s
+        tag = tag_of(info.block_addr, self.num_sets)
+        tag_map = self._tag_maps[s]
+        if tag in tag_map:
+            # Duplicate fill (e.g. prefetch raced a demand): refresh dirtiness.
+            way = tag_map[tag]
+            if dirty:
+                self._blocks[s][way].dirty = True
+            return None
+        blocks = self._blocks[s]
+        victim_info: Optional[Tuple[int, bool]] = None
+        if len(tag_map) < self.num_ways:
+            way = next(w for w, b in enumerate(blocks) if not b.valid)
+        else:
+            way = None
+        if way is None:
+            way = self.policy.find_victim(info, blocks)
+            if not 0 <= way < self.num_ways:
+                raise RuntimeError(
+                    f"{self.policy.name}: victim way {way} out of range"
+                )
+            victim = blocks[way]
+            self.policy.on_eviction(info, blocks, way)
+            evicted_addr = victim.tag * self.num_sets + s
+            victim_info = (evicted_addr, victim.dirty)
+            self.stats.evictions += 1
+            if self.mgmt is not None:
+                self.mgmt.on_eviction(
+                    evicted_addr, victim.reused, victim.is_prefetch
+                )
+            del tag_map[victim.tag]
+        self._touch += 1
+        blocks[way].reset_for_fill(
+            tag=tag,
+            pc=info.pc,
+            core=info.core,
+            is_prefetch=(info.type == PREFETCH),
+            dirty=dirty or info.is_write,
+            touch=self._touch,
+        )
+        tag_map[tag] = way
+        if self.mgmt is not None:
+            self.mgmt.on_fill(info.type == PREFETCH)
+        self.policy.on_fill(info, blocks, way)
+        return victim_info
+
+    def invalidate(self, block_addr: int) -> bool:
+        """Drop a block if present (used by tests and coherence stubs)."""
+        s = set_index(block_addr, self.num_sets)
+        tag = tag_of(block_addr, self.num_sets)
+        way = self._tag_maps[s].pop(tag, None)
+        if way is None:
+            return False
+        self._blocks[s][way].valid = False
+        return True
+
+    # --- introspection --------------------------------------------------------
+
+    def blocks_in_set(self, set_idx: int) -> List[CacheBlock]:
+        return self._blocks[set_idx]
+
+    def occupancy(self) -> int:
+        return sum(len(m) for m in self._tag_maps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.name}, {self.size_bytes >> 10}KB, "
+            f"{self.num_sets}x{self.num_ways}, policy={self.policy.name})"
+        )

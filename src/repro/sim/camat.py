@@ -1,0 +1,125 @@
+"""C-AMAT monitoring and LLC-obstruction detection (Secs. II-C, IV-C).
+
+Concurrent Average Memory Access Time (C-AMAT, Sun & Wang [50]) is the
+memory *active* cycles divided by the number of accesses, where a cycle
+with several overlapping accesses counts once.  The paper measures
+C-AMAT at the LLC per core over 100K-cycle epochs; a core whose
+C-AMAT_i(LLC) exceeds the average main-memory latency T_mem gains
+little from caching at the LLC during that epoch and is flagged
+**LLC-obstructed**.  Those flags feed CHROME's reward shaping and
+CARE's insertion/promotion decisions.
+
+Active cycles are computed as the length of the union of per-access
+service intervals, maintained incrementally per core (accesses arrive
+in non-decreasing start order per core, so a single ``active_until``
+watermark suffices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass
+class CoreCAMATState:
+    """Per-core accumulators for the current epoch and for the whole run."""
+
+    active_until: float = 0.0
+    epoch_active_cycles: float = 0.0
+    epoch_accesses: int = 0
+    total_active_cycles: float = 0.0
+    total_accesses: int = 0
+    obstructed: bool = False
+    obstructed_epochs: int = 0
+    epochs: int = 0
+
+    def record(self, start: float, service: float) -> None:
+        end = start + service
+        if start >= self.active_until:
+            added = service
+        else:
+            added = max(0.0, end - self.active_until)
+        if end > self.active_until:
+            self.active_until = end
+        self.epoch_active_cycles += added
+        self.total_active_cycles += added
+        self.epoch_accesses += 1
+        self.total_accesses += 1
+
+    @property
+    def total_camat(self) -> float:
+        return (
+            self.total_active_cycles / self.total_accesses
+            if self.total_accesses
+            else 0.0
+        )
+
+
+class CAMATMonitor:
+    """Epoch-based per-core C-AMAT tracking at the LLC.
+
+    Args:
+        num_cores: cores sharing the LLC.
+        t_mem: average main-memory latency in cycles (the obstruction
+            threshold; Sec. IV-C).
+        epoch_cycles: observation-window length (100K cycles in the paper).
+    """
+
+    def __init__(
+        self, num_cores: int, t_mem: float, epoch_cycles: float = 100_000.0
+    ) -> None:
+        self.num_cores = num_cores
+        self.t_mem = t_mem
+        self.epoch_cycles = epoch_cycles
+        self.cores: List[CoreCAMATState] = [CoreCAMATState() for _ in range(num_cores)]
+        self._epoch_end = epoch_cycles
+        self._listeners: List[Callable[[List[bool]], None]] = []
+
+    def add_epoch_listener(self, listener: Callable[[List[bool]], None]) -> None:
+        """Register a callback receiving obstruction flags each epoch."""
+        self._listeners.append(listener)
+
+    def record_llc_access(self, core: int, start_cycle: float, service: float) -> None:
+        """Record one LLC access interval for ``core``."""
+        self.cores[core].record(start_cycle, service)
+
+    def maybe_close_epoch(self, now: float) -> bool:
+        """Close the epoch if ``now`` passed its end; returns True if closed."""
+        if now < self._epoch_end:
+            return False
+        flags = []
+        for state in self.cores:
+            camat = (
+                state.epoch_active_cycles / state.epoch_accesses
+                if state.epoch_accesses
+                else 0.0
+            )
+            state.obstructed = camat > self.t_mem
+            state.epochs += 1
+            if state.obstructed:
+                state.obstructed_epochs += 1
+            state.epoch_active_cycles = 0.0
+            state.epoch_accesses = 0
+            flags.append(state.obstructed)
+        while self._epoch_end <= now:
+            self._epoch_end += self.epoch_cycles
+        for listener in self._listeners:
+            listener(flags)
+        return True
+
+    def obstruction_flags(self) -> List[bool]:
+        return [state.obstructed for state in self.cores]
+
+    def is_obstructed(self, core: int) -> bool:
+        return self.cores[core].obstructed
+
+    def summary(self) -> dict:
+        return {
+            "t_mem": self.t_mem,
+            "per_core_camat": [s.total_camat for s in self.cores],
+            "per_core_obstructed_epoch_fraction": [
+                s.obstructed_epochs / s.epochs if s.epochs else 0.0
+                for s in self.cores
+            ],
+        }

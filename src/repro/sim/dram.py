@@ -1,0 +1,174 @@
+"""DDR4-like main-memory timing model.
+
+Reproduces the paper's memory configuration (Table V): 2 channels,
+2 ranks/channel, 8 banks/rank, 64-bit channels at DDR4-3200, with
+tRP = tRCD = tCAS = 12.5 ns.  At the 4 GHz core clock each of those
+latencies is 50 core cycles; a burst of one 64-byte line over a 64-bit
+DDR-3200 channel occupies the data bus for 4 memory-bus-clock cycles
+(= 10 core cycles at 4 GHz with the 1600 MHz bus clock).
+
+The model keeps per-bank open-row state and per-bank/per-channel
+busy-until timestamps, so it produces row-buffer hits/misses/conflicts
+and genuine queueing under concurrent multi-core access — the load
+behaviour C-AMAT (and hence CHROME's reward shaping) observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+
+@dataclass
+class DRAMConfig:
+    """Timing/geometry parameters, in core cycles at 4 GHz."""
+
+    channels: int = 2
+    ranks_per_channel: int = 2
+    banks_per_rank: int = 8
+    trp: float = 50.0  # precharge
+    trcd: float = 50.0  # activate
+    tcas: float = 50.0  # column access
+    burst: float = 10.0  # data-bus occupancy per 64B line
+    row_bits: int = 16  # bits of block address per row (8 KB row / 64 B blocks = 7; we fold column bits too)
+    column_blocks_bits: int = 7  # blocks per row (8 KB row)
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def row_miss_latency(self) -> float:
+        return self.trp + self.trcd + self.tcas
+
+    @property
+    def row_hit_latency(self) -> float:
+        return self.tcas
+
+    @property
+    def average_latency(self) -> float:
+        """Nominal average service latency, used as ``T_mem`` for the
+        LLC-obstruction test (Sec. IV-C): a mid-point between row hit
+        and row miss plus the burst transfer."""
+        return (self.row_hit_latency + self.row_miss_latency) / 2.0 + self.burst
+
+
+@dataclass
+class _Bank:
+    busy_until: float = 0.0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    def __post_init__(self) -> None:
+        # FR-FCFS approximation: the controller batches queued requests
+        # by row, so any of the last few distinct rows served behaves
+        # like an open row for a newly arriving request.
+        self.recent_rows: list[int] = []
+
+    def row_is_open(self, row: int) -> bool:
+        return row in self.recent_rows
+
+    def open_row_for(self, row: int, window: int = 4) -> None:
+        if row in self.recent_rows:
+            self.recent_rows.remove(row)
+        self.recent_rows.append(row)
+        if len(self.recent_rows) > window:
+            self.recent_rows.pop(0)
+
+
+class DRAMModel:
+    """Bank-level main-memory timing with open-page policy."""
+
+    def __init__(self, config: DRAMConfig | None = None) -> None:
+        self.config = config or DRAMConfig()
+        self._banks: List[_Bank] = [_Bank() for _ in range(self.config.total_banks)]
+        self._channel_busy: List[float] = [0.0] * self.config.channels
+        self.reads = 0
+        self.writes = 0
+
+    def _locate(self, block_addr: int) -> tuple[int, int, int]:
+        """Map a block address to (channel, bank index, row).
+
+        Channels interleave at block granularity (for stream bandwidth);
+        within a channel, ``column_blocks_bits`` consecutive blocks share
+        a row, then banks interleave, then rows — so sequential streams
+        see row-buffer hits and scattered accesses see bank conflicts.
+        """
+        cfg = self.config
+        channel = block_addr & (cfg.channels - 1)
+        rest = block_addr >> (cfg.channels.bit_length() - 1)
+        beyond_row = rest >> cfg.column_blocks_bits
+        bank_count = cfg.ranks_per_channel * cfg.banks_per_rank
+        bank_local = beyond_row % bank_count
+        row = beyond_row // bank_count
+        bank = channel * bank_count + bank_local
+        return channel, bank, row
+
+    def access(self, block_addr: int, cycle: float, is_write: bool = False) -> float:
+        """Service one line request issued at ``cycle``.
+
+        Returns the total latency (queueing + bank + burst) seen by the
+        requester.  Writes occupy the bank and bus but the returned
+        latency is still meaningful for writeback drain modelling.
+        """
+        cfg = self.config
+        channel, bank_idx, row = self._locate(block_addr)
+        bank = self._banks[bank_idx]
+
+        start = max(cycle, bank.busy_until)
+        if is_write:
+            # Writebacks drain through the controller's write buffer,
+            # which batches them by row between read bursts: charge
+            # bank/bus occupancy at row-hit cost and leave the read
+            # stream's open-row state undisturbed.
+            service = cfg.row_hit_latency
+        elif bank.row_is_open(row):
+            service = cfg.row_hit_latency
+            bank.row_hits += 1
+            bank.open_row_for(row)
+        else:
+            service = cfg.row_miss_latency
+            bank.row_misses += 1
+            bank.open_row_for(row)
+        # The data bus is shared per channel but only for the burst:
+        # different banks overlap their activate/CAS phases.
+        data_ready = max(start + service, self._channel_busy[channel])
+        done = data_ready + cfg.burst
+        bank.busy_until = done
+        self._channel_busy[channel] = done
+
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        return done - cycle
+
+    def backlog(self, block_addr: int, cycle: float) -> float:
+        """Queueing delay a request to this block would see if issued
+        now — used by the hierarchy to drop prefetches under pressure
+        (real prefetchers are lowest-priority and shed load when the
+        memory system is saturated)."""
+        channel, bank_idx, _row = self._locate(block_addr)
+        wait = max(
+            self._banks[bank_idx].busy_until - cycle,
+            self._channel_busy[channel] - cycle,
+        )
+        return max(0.0, wait)
+
+    @property
+    def row_hit_rate(self) -> float:
+        hits = sum(b.row_hits for b in self._banks)
+        misses = sum(b.row_misses for b in self._banks)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def reset(self) -> None:
+        for bank in self._banks:
+            bank.recent_rows.clear()
+            bank.busy_until = 0.0
+            bank.row_hits = 0
+            bank.row_misses = 0
+        self._channel_busy = [0.0] * self.config.channels
+        self.reads = 0
+        self.writes = 0

@@ -1,0 +1,335 @@
+"""Per-core cache hierarchy walk: L1D → L2 → shared LLC → DRAM.
+
+Composes the pieces of :mod:`repro.sim` into the memory system of
+Table V: private L1D and L2 with fixed LRU, a shared LLC running the
+policy under study, hardware prefetchers at L1 and L2, MSHR-modelled
+miss overlap, dirty-writeback propagation, and C-AMAT accounting for
+every access that reaches the LLC.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..traces.trace import MemoryAccess
+from .access import DEMAND, PREFETCH, WRITEBACK, AccessInfo
+from .cache import Cache
+from .camat import CAMATMonitor
+from .core_model import CoreConfig, CoreTimingModel
+from .dram import DRAMModel
+from .prefetch.base import NullPrefetcher, Prefetcher
+
+
+class CoreHierarchy:
+    """One core's private levels plus references to the shared system."""
+
+    def __init__(
+        self,
+        core_id: int,
+        l1: Cache,
+        l2: Cache,
+        llc: Cache,
+        dram: DRAMModel,
+        camat: CAMATMonitor,
+        l1_prefetcher: Optional[Prefetcher] = None,
+        l2_prefetcher: Optional[Prefetcher] = None,
+        core_config: Optional[CoreConfig] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.l1 = l1
+        self.l2 = l2
+        self.llc = llc
+        self.dram = dram
+        self.camat = camat
+        self.l1_prefetcher = l1_prefetcher or NullPrefetcher()
+        self.l2_prefetcher = l2_prefetcher or NullPrefetcher()
+        self.core = CoreTimingModel(core_config)
+        # block address -> prefetcher that brought it in (usefulness credit)
+        self._pf_owner: OrderedDict[int, Prefetcher] = OrderedDict()
+        self._pf_owner_cap = 1 << 14
+        # Prefetch filter: recently demanded or prefetched blocks are not
+        # re-proposed (suppresses late and duplicate prefetches, which a
+        # real prefetch filter drops before they waste bandwidth).
+        self._pf_filter: OrderedDict[int, None] = OrderedDict()
+        self._pf_filter_cap = 2048
+        self.prefetch_drops = 0
+        self.prefetch_filtered = 0
+
+    #: a prefetch that would queue behind this much DRAM backlog is shed
+    PREFETCH_BACKLOG_LIMIT = 1200.0
+
+    # --- main entry point ---------------------------------------------------
+
+    def execute(self, access: MemoryAccess) -> float:
+        """Run one trace record through the core + memory system.
+
+        Returns the total load-to-use latency charged (0 for stores and
+        fully hidden L1 hits — informational only; timing effects are
+        applied to the core model internally).
+        """
+        issue = self.core.advance(access.gap)
+        latency = self._demand_access(access.pc, access.address, access.is_write, issue)
+        if not access.is_write:
+            self.core.complete_load(latency)
+        return latency
+
+    # --- demand path ------------------------------------------------------------
+
+    def _demand_access(
+        self, pc: int, address: int, is_write: bool, issue: float
+    ) -> float:
+        block = address >> 6
+        self._filter_remember(block)
+        info = AccessInfo(
+            pc=pc,
+            address=address,
+            block_addr=block,
+            core=self.core_id,
+            type=DEMAND,
+            is_write=is_write,
+            cycle=issue,
+        )
+        l1_hit, pf_hit = self.l1.access(info)
+        self._credit_prefetch(block, pf_hit)
+        prefetches = self.l1_prefetcher.on_access(pc, address, l1_hit, issue)
+        if l1_hit:
+            latency = self.l1.latency
+        else:
+            # Merge into an in-flight miss only if the line is genuinely
+            # still absent below (instant-fill means an "in-flight" line
+            # may already sit in L2 after an L1 eviction).
+            inflight = self.l1.mshr.lookup(block, issue)
+            if inflight is not None and not self.l2.probe(block):
+                self.l1.mshr.merges += 1
+                latency = max(self.l1.latency, inflight - issue)
+            else:
+                if inflight is not None:
+                    self.l1.mshr.remove(block)  # stale: line resident below
+                below = self._l2_access(info, issue)
+                completion = self.l1.mshr.allocate(
+                    block, issue, issue + self.l1.latency + below
+                )
+                self._fill_l1(info)
+                latency = completion - issue
+        for target in prefetches:
+            self._issue_prefetch("l1", self.l1_prefetcher, pc, target, issue)
+        return latency
+
+    def _l2_access(self, demand_info: AccessInfo, issue: float) -> float:
+        """L2 leg of a demand miss; returns latency below L1 (L2 onward)."""
+        info = AccessInfo(
+            pc=demand_info.pc,
+            address=demand_info.address,
+            block_addr=demand_info.block_addr,
+            core=self.core_id,
+            type=DEMAND,
+            is_write=False,  # the L1 absorbs the store; fills are clean
+            cycle=issue,
+        )
+        l2_hit, pf_hit = self.l2.access(info)
+        self._credit_prefetch(info.block_addr, pf_hit)
+        prefetches = self.l2_prefetcher.on_access(info.pc, info.address, l2_hit, issue)
+        if l2_hit:
+            below = self.l2.latency
+        else:
+            inflight = self.l2.mshr.lookup(info.block_addr, issue)
+            if inflight is not None and not self.llc.probe(info.block_addr):
+                below = max(self.l2.latency, inflight - issue)
+            else:
+                if inflight is not None:
+                    self.l2.mshr.remove(info.block_addr)
+                llc_issue = issue + self.l2.latency
+                llc_latency = self._llc_access(info, llc_issue, access_type=DEMAND)
+                completion = self.l2.mshr.allocate(
+                    info.block_addr, issue, llc_issue + llc_latency
+                )
+                self._fill_l2(info)
+                below = completion - issue
+        for target in prefetches:
+            self._issue_prefetch("l2", self.l2_prefetcher, info.pc, target, issue)
+        return below
+
+    def _llc_access(self, upper_info: AccessInfo, issue: float, access_type: str) -> float:
+        """Shared-LLC leg; returns latency from LLC onward and records
+        the access interval for C-AMAT."""
+        info = AccessInfo(
+            pc=upper_info.pc,
+            address=upper_info.address,
+            block_addr=upper_info.block_addr,
+            core=self.core_id,
+            type=access_type,
+            is_write=False,
+            cycle=issue,
+        )
+        llc_hit, pf_hit = self.llc.access(info)
+        self._credit_prefetch(info.block_addr, pf_hit)
+        if llc_hit:
+            service = self.llc.latency
+        else:
+            inflight = self.llc.mshr.lookup(info.block_addr, issue)
+            if inflight is not None:
+                service = max(self.llc.latency, inflight - issue)
+            else:
+                dram_latency = self.dram.access(
+                    info.block_addr, issue + self.llc.latency
+                )
+                completion = self.llc.mshr.allocate(
+                    info.block_addr, issue, issue + self.llc.latency + dram_latency
+                )
+                service = completion - issue
+                if not self.llc.decide_bypass(info):
+                    victim = self.llc.fill(info)
+                    self._drain_llc_victim(victim, issue)
+        self.camat.record_llc_access(self.core_id, issue, service)
+        return service
+
+    # --- fills and writebacks ------------------------------------------------
+
+    def _fill_l1(self, info: AccessInfo) -> None:
+        fill = AccessInfo(
+            pc=info.pc,
+            address=info.address,
+            block_addr=info.block_addr,
+            core=self.core_id,
+            type=info.type,
+            is_write=info.is_write,
+            cycle=info.cycle,
+        )
+        victim = self.l1.fill(fill, dirty=info.is_write)
+        if victim is not None and victim[1]:
+            self._writeback(self.l2, victim[0], info.cycle)
+
+    def _fill_l2(self, info: AccessInfo) -> None:
+        fill = AccessInfo(
+            pc=info.pc,
+            address=info.address,
+            block_addr=info.block_addr,
+            core=self.core_id,
+            type=info.type,
+            is_write=False,
+            cycle=info.cycle,
+        )
+        victim = self.l2.fill(fill)
+        if victim is not None and victim[1]:
+            self._writeback_llc(victim[0], info.cycle)
+
+    def _writeback(self, cache: Cache, block_addr: int, cycle: float) -> None:
+        """Dirty eviction from L1 lands in L2 (allocate on writeback)."""
+        info = AccessInfo(
+            pc=0,
+            address=block_addr << 6,
+            block_addr=block_addr,
+            core=self.core_id,
+            type=WRITEBACK,
+            is_write=True,
+            cycle=cycle,
+        )
+        hit, _ = cache.access(info)
+        cache.stats.writebacks_out += 0  # credit tracked by source cache
+        if not hit:
+            victim = cache.fill(info, dirty=True)
+            if victim is not None and victim[1]:
+                self._writeback_llc(victim[0], cycle)
+
+    def _writeback_llc(self, block_addr: int, cycle: float) -> None:
+        """Dirty eviction from L2 lands in the shared LLC."""
+        info = AccessInfo(
+            pc=0,
+            address=block_addr << 6,
+            block_addr=block_addr,
+            core=self.core_id,
+            type=WRITEBACK,
+            is_write=True,
+            cycle=cycle,
+        )
+        hit, _ = self.llc.access(info)
+        if not hit:
+            victim = self.llc.fill(info, dirty=True)
+            self._drain_llc_victim(victim, cycle)
+
+    def _drain_llc_victim(
+        self, victim: Optional[Tuple[int, bool]], cycle: float
+    ) -> None:
+        if victim is not None and victim[1]:
+            self.llc.stats.writebacks_out += 1
+            self.dram.access(victim[0], cycle, is_write=True)
+
+    # --- prefetch path -----------------------------------------------------------
+
+    def _issue_prefetch(
+        self, level: str, owner: Prefetcher, pc: int, address: int, issue: float
+    ) -> None:
+        """Inject a prefetch at ``level``; fills propagate upward to the
+        issuing level.  LLC insertion remains subject to the LLC
+        policy's bypass decision (holistic management, Sec. IV-B)."""
+        if address < 0:
+            return
+        block = address >> 6
+        if block in self._pf_filter:
+            self.prefetch_filtered += 1
+            return
+        self._filter_remember(block)
+        if level == "l1" and self.l1.probe(block):
+            return
+        hit_below = self.l2.probe(block)
+        if not hit_below and not self.llc.probe(block):
+            # The line must come from DRAM: shed the prefetch when the
+            # memory system is saturated (lowest-priority traffic).
+            self.llc.mshr.lookup(block, issue)  # expire stale entries
+            if (
+                self.llc.mshr.occupancy >= self.llc.mshr.num_entries
+                or self.dram.backlog(block, issue) > self.PREFETCH_BACKLOG_LIMIT
+            ):
+                self.prefetch_drops += 1
+                return
+        info = AccessInfo(
+            pc=pc,
+            address=address,
+            block_addr=block,
+            core=self.core_id,
+            type=PREFETCH,
+            is_write=False,
+            cycle=issue,
+        )
+        if not hit_below:
+            # L2 miss: consult the shared LLC (prefetch-typed access).
+            llc_latency = self._llc_access(info, issue + self.l2.latency, PREFETCH)
+            del llc_latency  # prefetch latency is off the critical path
+            self._fill_l2(info)
+        else:
+            # Touch L2 so its stats/recency see the prefetch.
+            l2_info = AccessInfo(
+                pc=pc,
+                address=address,
+                block_addr=block,
+                core=self.core_id,
+                type=PREFETCH,
+                is_write=False,
+                cycle=issue,
+            )
+            self.l2.access(l2_info)
+        if level == "l1":
+            self._fill_l1(info)
+        self._remember_prefetch(block, owner)
+
+    def _filter_remember(self, block: int) -> None:
+        pf_filter = self._pf_filter
+        pf_filter[block] = None
+        pf_filter.move_to_end(block)
+        if len(pf_filter) > self._pf_filter_cap:
+            pf_filter.popitem(last=False)
+
+    def _remember_prefetch(self, block: int, owner: Prefetcher) -> None:
+        owners = self._pf_owner
+        owners[block] = owner
+        owners.move_to_end(block)
+        if len(owners) > self._pf_owner_cap:
+            owners.popitem(last=False)
+
+    def _credit_prefetch(self, block: int, first_demand_hit: bool) -> None:
+        if not first_demand_hit:
+            return
+        owner = self._pf_owner.pop(block, None)
+        if owner is not None:
+            owner.credit_useful()

@@ -1,0 +1,91 @@
+"""Miss Status Holding Registers (MSHR).
+
+A non-blocking cache tracks its in-flight misses in an MSHR file.  The
+trace-driven timing model does not replay events, so the MSHR's job
+here is twofold:
+
+* **merging** — a second miss to a block that is already in flight does
+  not issue a second fill; it completes when the first one does; and
+* **occupancy back-pressure** — when all entries are busy, a new miss
+  must wait until the oldest in-flight miss retires, which serializes
+  latency exactly the way a full MSHR file stalls a real cache.
+
+Entries are keyed by block address and retire at their fill-completion
+cycle.  Because accesses arrive in non-decreasing cycle order per
+cache, expiry can be handled with a simple min-heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+
+class MSHRFile:
+    """Fixed-capacity in-flight miss tracker for one cache."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries <= 0:
+            raise ValueError("MSHR needs at least one entry")
+        self.num_entries = num_entries
+        self._inflight: Dict[int, float] = {}  # block addr -> completion cycle
+        self._heap: List[Tuple[float, int]] = []  # (completion, block addr)
+        self.merges = 0
+        self.stalls = 0
+
+    def _expire(self, now: float) -> None:
+        while self._heap and self._heap[0][0] <= now:
+            done, blk = heapq.heappop(self._heap)
+            # Lazy deletion: only drop if the map agrees (no re-insert raced).
+            if self._inflight.get(blk) == done:
+                del self._inflight[blk]
+
+    def lookup(self, block_addr: int, now: float) -> float | None:
+        """Return the completion cycle of an in-flight miss, if any."""
+        self._expire(now)
+        return self._inflight.get(block_addr)
+
+    def allocate(self, block_addr: int, now: float, completion: float) -> float:
+        """Allocate an entry for a new miss issued at ``now``.
+
+        Returns the (possibly delayed) completion cycle.  If the file
+        is full the miss is delayed until the oldest entry retires, and
+        the returned completion reflects that extra queueing delay.
+        """
+        self._expire(now)
+        existing = self._inflight.get(block_addr)
+        if existing is not None:
+            self.merges += 1
+            return existing
+        delay = 0.0
+        if len(self._inflight) >= self.num_entries:
+            # Stall until the soonest-retiring entry frees a slot.
+            self.stalls += 1
+            soonest = self._heap[0][0]
+            delay = max(0.0, soonest - now)
+            self._expire(soonest)
+            # If lazy-deleted entries masked real occupancy, retire greedily.
+            while len(self._inflight) >= self.num_entries and self._heap:
+                done, blk = heapq.heappop(self._heap)
+                if self._inflight.get(blk) == done:
+                    del self._inflight[blk]
+                    delay = max(delay, done - now)
+        completion += delay
+        self._inflight[block_addr] = completion
+        heapq.heappush(self._heap, (completion, block_addr))
+        return completion
+
+    def remove(self, block_addr: int) -> bool:
+        """Deallocate an entry early (its data became resident below via
+        another path); the heap copy is lazily discarded."""
+        return self._inflight.pop(block_addr, None) is not None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._inflight)
+
+    def reset(self) -> None:
+        self._inflight.clear()
+        self._heap.clear()
+        self.merges = 0
+        self.stalls = 0

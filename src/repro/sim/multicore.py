@@ -1,0 +1,299 @@
+"""Multi-core system assembly and the trace-driven run loop.
+
+Builds the simulated machine of Table V — private L1D/L2 per core, a
+shared LLC sized at 3 MB/core, banked DDR4 memory — and executes one
+trace per core, interleaving cores in timestamp order so that shared
+LLC and DRAM contention happen in (approximate) global time order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..traces.trace import Trace
+from .cache import Cache
+from .camat import CAMATMonitor
+from .core_model import CoreConfig
+from .dram import DRAMConfig, DRAMModel
+from .hierarchy import CoreHierarchy
+from .prefetch.base import NullPrefetcher, Prefetcher
+from .prefetch.ipcp import IPCPPrefetcher
+from .prefetch.next_line import NextLinePrefetcher
+from .prefetch.streamer import StreamerPrefetcher
+from .prefetch.stride import StridePrefetcher
+from .replacement.base import ReplacementPolicy
+from .replacement.lru import LRUPolicy
+from .stats import CacheStats, LLCManagementStats
+
+
+@dataclass
+class SystemConfig:
+    """Machine parameters; defaults follow Table V.
+
+    The cache sizes are scaled by ``scale`` so unit tests and quick
+    examples can run a geometrically similar but smaller machine
+    (every level shrinks together, preserving the capacity ratios the
+    policies react to).
+    """
+
+    num_cores: int = 4
+    scale: float = 1.0
+    l1_size: int = 48 * 1024
+    l1_ways: int = 12
+    l1_latency: float = 5.0
+    l1_mshr: int = 16
+    l2_size: int = 1280 * 1024
+    l2_ways: int = 20
+    l2_latency: float = 10.0
+    l2_mshr: int = 48
+    llc_size_per_core: int = 3 * 1024 * 1024
+    llc_ways: int = 12
+    llc_latency: float = 40.0
+    llc_mshr_per_core: int = 64
+    epoch_cycles: float = 100_000.0
+    core: CoreConfig = field(default_factory=CoreConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+    def _pow2_size(self, nominal: int, ways: int) -> int:
+        """Largest size <= nominal*scale whose set count is a power of two."""
+        from .address import BLOCK_SIZE
+
+        target_sets = max(1, int(nominal * self.scale) // (BLOCK_SIZE * ways))
+        sets = 1 << (target_sets.bit_length() - 1)
+        return sets * BLOCK_SIZE * ways
+
+    @property
+    def l1_effective_size(self) -> int:
+        return self._pow2_size(self.l1_size, self.l1_ways)
+
+    @property
+    def l2_effective_size(self) -> int:
+        return self._pow2_size(self.l2_size, self.l2_ways)
+
+    @property
+    def llc_effective_size(self) -> int:
+        return self._pow2_size(self.llc_size_per_core * self.num_cores, self.llc_ways)
+
+
+# --- prefetcher configurations (Secs. VI, VII-E) -----------------------------
+
+PrefetcherFactory = Callable[[], Prefetcher]
+
+
+PREFETCH_CONFIGS: Dict[str, tuple[PrefetcherFactory, PrefetcherFactory]] = {
+    # default: next-line at L1, stride at L2 (CRC-2 methodology)
+    "nl_stride": (lambda: NextLinePrefetcher(degree=1), lambda: StridePrefetcher(degree=2)),
+    # Fig. 3b / Fig. 14: stride at L1, streamer at L2 (Intel-like)
+    "stride_streamer": (
+        lambda: StridePrefetcher(degree=1),
+        lambda: StreamerPrefetcher(degree=4),
+    ),
+    # Fig. 14: IPCP (DPC-3 winner), multi-level
+    "ipcp": (lambda: IPCPPrefetcher(), lambda: IPCPPrefetcher()),
+    # no prefetching
+    "none": (lambda: NullPrefetcher(), lambda: NullPrefetcher()),
+}
+
+
+@dataclass
+class CoreResult:
+    """Post-warmup performance of one core."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class SystemResult:
+    """Everything an experiment needs from one simulation run."""
+
+    policy_name: str
+    cores: List[CoreResult]
+    llc_stats: CacheStats
+    llc_mgmt: LLCManagementStats
+    camat_summary: dict
+    prefetcher_accuracy: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipcs(self) -> List[float]:
+        return [c.ipc for c in self.cores]
+
+
+class MultiCoreSystem:
+    """A complete simulated machine running one policy."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        llc_policy: Optional[ReplacementPolicy] = None,
+        prefetch_config: str = "nl_stride",
+    ) -> None:
+        self.config = config
+        self.policy = llc_policy or LRUPolicy()
+        if prefetch_config not in PREFETCH_CONFIGS:
+            raise KeyError(
+                f"unknown prefetch config {prefetch_config!r}; "
+                f"choose from {sorted(PREFETCH_CONFIGS)}"
+            )
+        self.prefetch_config = prefetch_config
+        l1_factory, l2_factory = PREFETCH_CONFIGS[prefetch_config]
+
+        self.dram = DRAMModel(config.dram)
+        self.camat = CAMATMonitor(
+            num_cores=config.num_cores,
+            t_mem=config.dram.average_latency,
+            epoch_cycles=config.epoch_cycles,
+        )
+        self.llc = Cache(
+            name="LLC",
+            size_bytes=config.llc_effective_size,
+            ways=config.llc_ways,
+            latency=config.llc_latency,
+            mshr_entries=config.llc_mshr_per_core * config.num_cores,
+            policy=self.policy,
+            track_mgmt_stats=True,
+        )
+        self.camat.add_epoch_listener(self.policy.observe_epoch)
+        # CHROME's agent needs the live obstruction flags at reward time.
+        if hasattr(self.policy, "bind_camat"):
+            self.policy.bind_camat(self.camat)
+
+        self.cores: List[CoreHierarchy] = []
+        for core_id in range(config.num_cores):
+            l1 = Cache(
+                name=f"L1D{core_id}",
+                size_bytes=config.l1_effective_size,
+                ways=config.l1_ways,
+                latency=config.l1_latency,
+                mshr_entries=config.l1_mshr,
+            )
+            l2 = Cache(
+                name=f"L2_{core_id}",
+                size_bytes=config.l2_effective_size,
+                ways=config.l2_ways,
+                latency=config.l2_latency,
+                mshr_entries=config.l2_mshr,
+            )
+            self.cores.append(
+                CoreHierarchy(
+                    core_id=core_id,
+                    l1=l1,
+                    l2=l2,
+                    llc=self.llc,
+                    dram=self.dram,
+                    camat=self.camat,
+                    l1_prefetcher=l1_factory(),
+                    l2_prefetcher=l2_factory(),
+                    core_config=config.core,
+                )
+            )
+
+    # --- running -----------------------------------------------------------------
+
+    def run(
+        self,
+        traces: Sequence[Trace],
+        max_accesses_per_core: Optional[int] = None,
+        warmup_accesses: int = 0,
+    ) -> SystemResult:
+        """Execute one trace per core to completion (or the access cap).
+
+        ``warmup_accesses`` accesses per core run before statistics are
+        reset (learning state persists, mirroring the paper's 50M-warmup
+        + 200M-measured methodology at reduced scale).
+        """
+        if len(traces) != self.config.num_cores:
+            raise ValueError(
+                f"need {self.config.num_cores} traces, got {len(traces)}"
+            )
+        iters = [iter(t) for t in traces]
+        executed = [0] * len(iters)
+        active = list(range(len(iters)))
+        warm_snapshots: List[Optional[tuple]] = [None] * len(iters)
+        warmed = warmup_accesses == 0
+        if warmed:
+            warm_snapshots = [c.core.snapshot() for c in self.cores]
+
+        while active:
+            # Advance the core with the smallest progress clock.
+            idx = min(active, key=lambda i: self.cores[i].core.current_cycle)
+            record = next(iters[idx], None)
+            if record is None or (
+                max_accesses_per_core is not None
+                and executed[idx] >= max_accesses_per_core
+            ):
+                active.remove(idx)
+                if not warmed and warm_snapshots[idx] is None:
+                    # Trace ended before its warmup budget: snapshot here so
+                    # the remaining cores can still close the warmup phase.
+                    warm_snapshots[idx] = self.cores[idx].core.snapshot()
+                    if all(snapshot is not None for snapshot in warm_snapshots):
+                        self._reset_measured_stats()
+                        warmed = True
+                continue
+            hierarchy = self.cores[idx]
+            hierarchy.execute(record)
+            executed[idx] += 1
+            self.camat.maybe_close_epoch(hierarchy.core.current_cycle)
+
+            if not warmed and executed[idx] == warmup_accesses:
+                warm_snapshots[idx] = hierarchy.core.snapshot()
+                if all(snapshot is not None for snapshot in warm_snapshots):
+                    self._reset_measured_stats()
+                    warmed = True
+
+        core_results = []
+        for i, hierarchy in enumerate(self.cores):
+            instr, cycles = hierarchy.core.snapshot()
+            base = warm_snapshots[i] or (0, 0.0)
+            core_results.append(
+                CoreResult(
+                    instructions=instr - base[0],
+                    cycles=max(cycles - base[1], 1e-9),
+                )
+            )
+
+        issued = sum(
+            c.l1_prefetcher.stats.issued + c.l2_prefetcher.stats.issued
+            for c in self.cores
+        )
+        useful = sum(
+            c.l1_prefetcher.stats.useful + c.l2_prefetcher.stats.useful
+            for c in self.cores
+        )
+        extra = {}
+        if hasattr(self.policy, "telemetry"):
+            extra["policy_telemetry"] = self.policy.telemetry()
+        return SystemResult(
+            policy_name=self.policy.name,
+            cores=core_results,
+            llc_stats=self.llc.stats,
+            llc_mgmt=self.llc.mgmt,
+            camat_summary=self.camat.summary(),
+            prefetcher_accuracy=(useful / issued if issued else 0.0),
+            extra=extra,
+        )
+
+    def _reset_measured_stats(self) -> None:
+        """Zero the measured-region statistics; learning state persists."""
+        self.llc.stats = CacheStats(name="LLC")
+        self.llc.mgmt = LLCManagementStats()
+        # Prefetched lines resident at the measurement boundary can still
+        # produce measured hits; count them as (already paid) fills so
+        # EPHR stays a ratio of hits to inserted prefetches.
+        resident_prefetches = sum(
+            1
+            for s in range(self.llc.num_sets)
+            for block in self.llc.blocks_in_set(s)
+            if block.valid and block.is_prefetch
+        )
+        self.llc.mgmt.prefetch_fills = resident_prefetches
+        for hierarchy in self.cores:
+            hierarchy.l1.stats = CacheStats(name=hierarchy.l1.name)
+            hierarchy.l2.stats = CacheStats(name=hierarchy.l2.name)

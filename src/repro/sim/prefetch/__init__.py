@@ -1,0 +1,16 @@
+"""Hardware prefetchers (Secs. VI, VII-E)."""
+
+from .base import NullPrefetcher, Prefetcher
+from .ipcp import IPCPPrefetcher
+from .next_line import NextLinePrefetcher
+from .streamer import StreamerPrefetcher
+from .stride import StridePrefetcher
+
+__all__ = [
+    "IPCPPrefetcher",
+    "NextLinePrefetcher",
+    "NullPrefetcher",
+    "Prefetcher",
+    "StreamerPrefetcher",
+    "StridePrefetcher",
+]

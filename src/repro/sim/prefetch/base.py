@@ -1,0 +1,37 @@
+"""Hardware prefetcher interface.
+
+Prefetchers sit at a cache level and observe that level's demand
+accesses; each observation may return candidate prefetch addresses,
+which the hierarchy then injects below (tagged as prefetch so the LLC
+policies can tell them apart — central to the paper's holistic view).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..stats import PrefetcherStats
+
+
+class Prefetcher:
+    """Base class: observes accesses, proposes prefetch addresses."""
+
+    name = "none"
+
+    def __init__(self, degree: int = 1) -> None:
+        self.degree = degree
+        self.stats = PrefetcherStats()
+
+    def on_access(self, pc: int, address: int, hit: bool, cycle: float) -> List[int]:
+        """Observe a demand access; return byte addresses to prefetch."""
+        return []
+
+    def credit_useful(self) -> None:
+        """A block this prefetcher fetched served a demand hit."""
+        self.stats.useful += 1
+
+
+class NullPrefetcher(Prefetcher):
+    """No prefetching (the paper's 'without prefetching' configuration)."""
+
+    name = "none"

@@ -1,0 +1,98 @@
+"""IPCP — Instruction Pointer Classifier-based Prefetching (simplified).
+
+Pakalapati & Panda, ISCA 2020 (paper ref [38]): the DPC-3 winning
+prefetcher, used in Fig. 14.  IPCP classifies each load IP into one of
+several classes and dispatches a class-specific prefetcher:
+
+* **CS (constant stride)** — the IP shows a stable stride; prefetch a
+  deep stream along it;
+* **GS (global stream)** — the IP participates in a dense region
+  sweep; prefetch next lines aggressively with a region bitmap;
+* **CPLX (complex)** — fall back to a short next-line burst when
+  recent deltas look irregular but forward-leaning.
+
+This is a reduced-state reimplementation that keeps the classifier
+structure (per-IP table with stride confidence + global region
+tracking) while dropping the paper's fine-grained throttling.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from ..address import PAGE_BITS
+from .base import Prefetcher
+
+
+class IPCPPrefetcher(Prefetcher):
+    """Per-IP classification dispatching CS/GS/CPLX prefetch actions."""
+
+    name = "ipcp"
+
+    def __init__(self, table_size: int = 128) -> None:
+        super().__init__(degree=4)
+        self.table_size = table_size
+        # ip -> [last_block, stride, stride_conf, class]
+        self._ip_table: OrderedDict[int, List[int]] = OrderedDict()
+        # page -> [bitmap of accessed blocks, last_block]
+        self._regions: OrderedDict[int, List[int]] = OrderedDict()
+
+    CS, GS, CPLX, NONE = "cs", "gs", "cplx", "none"
+
+    def _classify_region(self, address: int) -> bool:
+        """Track region density; True when the page looks like a stream."""
+        page = address >> PAGE_BITS
+        block_in_page = (address >> 6) & 63
+        region = self._regions.get(page)
+        if region is None:
+            if len(self._regions) >= 64:
+                self._regions.popitem(last=False)
+            self._regions[page] = [1 << block_in_page, block_in_page]
+            return False
+        self._regions.move_to_end(page)
+        region[0] |= 1 << block_in_page
+        region[1] = block_in_page
+        return bin(region[0]).count("1") >= 8  # dense page => global stream
+
+    def on_access(self, pc: int, address: int, hit: bool, cycle: float) -> List[int]:
+        block = address >> 6
+        entry = self._ip_table.get(pc)
+        if entry is None:
+            if len(self._ip_table) >= self.table_size:
+                self._ip_table.popitem(last=False)
+            self._ip_table[pc] = [block, 0, 0, self.NONE]
+            return []
+        self._ip_table.move_to_end(pc)
+        last_block, stride, conf, _cls = entry
+        delta = block - last_block
+        entry[0] = block
+        dense = self._classify_region(address)
+        out: List[int] = []
+        if delta != 0:
+            if delta == stride:
+                conf = min(3, conf + 1)
+            else:
+                conf = max(0, conf - 1)
+                if conf == 0:
+                    stride = delta
+            entry[1], entry[2] = stride, conf
+        if conf >= 2 and stride != 0:
+            entry[3] = self.CS
+            for i in range(1, self.degree + 1):
+                out.append((block + stride * i) << 6)
+        elif dense:
+            entry[3] = self.GS
+            direction = 1 if delta >= 0 else -1
+            for i in range(1, self.degree + 2):
+                target = (block + direction * i) << 6
+                if target >> PAGE_BITS == address >> PAGE_BITS:
+                    out.append(target)
+        elif delta > 0:
+            entry[3] = self.CPLX
+            out.append((block + 1) << 6)
+        else:
+            entry[3] = self.NONE
+        if out:
+            self.stats.issued += len(out)
+        return out

@@ -1,0 +1,20 @@
+"""Next-line prefetcher (the paper's default L1 prefetcher, Sec. VI)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..address import BLOCK_SIZE
+from .base import Prefetcher
+
+
+class NextLinePrefetcher(Prefetcher):
+    """On every access, prefetch the next ``degree`` sequential lines."""
+
+    name = "next_line"
+
+    def on_access(self, pc: int, address: int, hit: bool, cycle: float) -> List[int]:
+        base = (address >> 6) << 6
+        out = [base + BLOCK_SIZE * (i + 1) for i in range(self.degree)]
+        self.stats.issued += len(out)
+        return out

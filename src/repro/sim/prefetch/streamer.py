@@ -1,0 +1,59 @@
+"""Page-based streamer prefetcher (Chen & Baer — paper ref [7]).
+
+Used by the paper's alternative configuration (Fig. 3b / Fig. 14):
+stride at L1 + streamer at L2, "a combination commonly employed in
+commercial Intel processors".  Tracks per-4KB-page access direction;
+once a stream is confirmed it runs ``degree`` lines ahead of demand.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from ..address import BLOCK_SIZE, PAGE_BITS
+from .base import Prefetcher
+
+
+class StreamerPrefetcher(Prefetcher):
+    """Per-page unit-stride stream detector."""
+
+    name = "streamer"
+
+    def __init__(self, degree: int = 4, table_size: int = 64) -> None:
+        super().__init__(degree)
+        self.table_size = table_size
+        # page -> [last_block_in_page, direction (-1/0/+1), confidence]
+        self._table: OrderedDict[int, List[int]] = OrderedDict()
+
+    def on_access(self, pc: int, address: int, hit: bool, cycle: float) -> List[int]:
+        page = address >> PAGE_BITS
+        block = address >> 6
+        entry = self._table.get(page)
+        out: List[int] = []
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                self._table.popitem(last=False)
+            self._table[page] = [block, 0, 0]
+            return out
+        self._table.move_to_end(page)
+        last_block, direction, confidence = entry
+        delta = block - last_block
+        if delta != 0:
+            new_dir = 1 if delta > 0 else -1
+            if new_dir == direction:
+                confidence = min(3, confidence + 1)
+            else:
+                direction = new_dir
+                confidence = 1
+            entry[0] = block
+            entry[1] = direction
+            entry[2] = confidence
+            if confidence >= 2:
+                for i in range(1, self.degree + 1):
+                    target = (block + direction * i) << 6
+                    # Streamers do not cross page boundaries.
+                    if target >> PAGE_BITS == page:
+                        out.append(target)
+                self.stats.issued += len(out)
+        return out

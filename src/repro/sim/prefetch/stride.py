@@ -1,0 +1,55 @@
+"""PC-indexed stride prefetcher (Fu & Patel — paper refs [14], [15]).
+
+The paper's default L2 prefetcher.  A reference-prediction-style table
+tracks, per load PC, the last address and last stride with a 2-bit
+confidence counter; confident strides prefetch ``degree`` lines ahead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from ..address import BLOCK_SIZE
+from .base import Prefetcher
+
+
+class StridePrefetcher(Prefetcher):
+    """Classic per-PC stride detection with confidence."""
+
+    name = "stride"
+
+    def __init__(self, degree: int = 2, table_size: int = 256) -> None:
+        super().__init__(degree)
+        self.table_size = table_size
+        # pc -> [last_addr, stride, confidence]
+        self._table: OrderedDict[int, List[int]] = OrderedDict()
+
+    def on_access(self, pc: int, address: int, hit: bool, cycle: float) -> List[int]:
+        entry = self._table.get(pc)
+        out: List[int] = []
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                self._table.popitem(last=False)
+            self._table[pc] = [address, 0, 0]
+            return out
+        self._table.move_to_end(pc)
+        last_addr, last_stride, confidence = entry
+        stride = address - last_addr
+        if stride != 0:
+            if stride == last_stride:
+                confidence = min(3, confidence + 1)
+            else:
+                confidence = max(0, confidence - 1)
+                if confidence == 0:
+                    last_stride = stride
+            entry[0] = address
+            entry[1] = last_stride if confidence else stride
+            entry[2] = confidence
+            if confidence >= 2 and entry[1] != 0:
+                for i in range(1, self.degree + 1):
+                    out.append(address + entry[1] * i)
+                self.stats.issued += len(out)
+        else:
+            entry[0] = address
+        return out

@@ -1,0 +1,84 @@
+"""LLC management policies: the paper's baseline, its four
+state-of-the-art comparators, and extra classical baselines.
+
+Use :func:`make_policy` to build any scheme by name — this is the
+registry the experiment harness and examples go through.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import ReplacementPolicy, oldest_way
+from .care import CAREPolicy
+from .glider import GliderPolicy
+from .hawkeye import HawkeyePolicy
+from .lru import LRUPolicy
+from .mockingjay import MockingjayPolicy
+from .optgen import OPTgen, choose_sampled_sets
+from .random_policy import RandomPolicy
+from .ship import SHiPPolicy
+from .srrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+
+
+def _make_chrome() -> ReplacementPolicy:
+    from ...core.chrome import ChromePolicy
+
+    return ChromePolicy()
+
+
+def _make_nchrome() -> ReplacementPolicy:
+    from ...core.chrome import make_nchrome_policy
+
+    return make_nchrome_policy()
+
+
+POLICY_REGISTRY: Dict[str, Callable[[], ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "random": RandomPolicy,
+    "srrip": SRRIPPolicy,
+    "brrip": BRRIPPolicy,
+    "drrip": DRRIPPolicy,
+    "ship++": SHiPPolicy,
+    "hawkeye": HawkeyePolicy,
+    "glider": GliderPolicy,
+    "mockingjay": MockingjayPolicy,
+    "care": CAREPolicy,
+    "chrome": _make_chrome,
+    "n-chrome": _make_nchrome,
+}
+
+#: the five schemes of the paper's headline comparisons, in plot order
+PAPER_SCHEMES = ("hawkeye", "glider", "mockingjay", "care", "chrome")
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a fresh policy by registry name."""
+    try:
+        factory = POLICY_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(POLICY_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+__all__ = [
+    "CAREPolicy",
+    "GliderPolicy",
+    "HawkeyePolicy",
+    "LRUPolicy",
+    "MockingjayPolicy",
+    "OPTgen",
+    "PAPER_SCHEMES",
+    "POLICY_REGISTRY",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SHiPPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "DRRIPPolicy",
+    "choose_sampled_sets",
+    "make_policy",
+    "oldest_way",
+]

@@ -1,0 +1,92 @@
+"""Replacement/bypass policy interface for the shared LLC.
+
+Every scheme the paper compares (LRU, Hawkeye, Glider, Mockingjay,
+CARE, CHROME) is implemented against this interface.  The cache calls
+the hooks in a fixed order:
+
+* on every lookup the cache resolves hit/miss itself, then
+* **hit** → :meth:`on_hit` (policy updates recency/EPV state);
+* **miss** → :meth:`should_bypass`; if False → :meth:`find_victim`,
+  then :meth:`on_eviction` for a valid victim, then :meth:`on_fill`.
+
+Policies that integrate bypassing (Mockingjay, CHROME) override
+:meth:`should_bypass`; the rest inherit the never-bypass default,
+mirroring the "Holistic" column of Table IV.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..access import AccessInfo
+from ..block import CacheBlock
+
+
+class ReplacementPolicy:
+    """Abstract LLC management policy."""
+
+    #: human-readable scheme name used in reports
+    name = "base"
+
+    def __init__(self) -> None:
+        self.num_sets = 0
+        self.num_ways = 0
+
+    def attach(self, num_sets: int, num_ways: int) -> None:
+        """Called once by the cache to size per-set policy state."""
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+
+    # --- decision hooks ---------------------------------------------------
+
+    def should_bypass(self, info: AccessInfo) -> bool:
+        """Decide whether a missing block should skip the cache."""
+        return False
+
+    def find_victim(self, info: AccessInfo, blocks: Sequence[CacheBlock]) -> int:
+        """Return the way to evict in ``info.set_index`` (invalid ways
+        are chosen by the cache itself; this is only called when the
+        set is full)."""
+        raise NotImplementedError
+
+    # --- training hooks ----------------------------------------------------
+
+    def on_hit(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        """A lookup hit way ``way``."""
+
+    def on_fill(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        """A new block was installed in way ``way``."""
+
+    def on_eviction(
+        self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int
+    ) -> None:
+        """The valid block in way ``way`` is about to be replaced."""
+
+    # --- system feedback ----------------------------------------------------
+
+    def observe_epoch(self, obstructed_cores: List[bool]) -> None:
+        """Concurrency feedback: per-core LLC-obstruction flags for the
+        epoch that just ended (Sec. IV-C).  Only concurrency-aware
+        policies (CARE, CHROME) use this."""
+
+    # --- bookkeeping ----------------------------------------------------------
+
+    def storage_overhead_bits(self) -> int:
+        """Model the hardware storage cost of this policy (Table IV).
+
+        Policies report the cost of their metadata structures; per-block
+        state riding in the cache arrays (recency/EPV bits) is included
+        here too so totals are directly comparable with the paper.
+        """
+        return 0
+
+
+def oldest_way(blocks: Sequence[CacheBlock]) -> int:
+    """Utility: way with the smallest ``last_touch`` (true-LRU victim)."""
+    victim = 0
+    oldest = blocks[0].last_touch
+    for way in range(1, len(blocks)):
+        if blocks[way].last_touch < oldest:
+            oldest = blocks[way].last_touch
+            victim = way
+    return victim

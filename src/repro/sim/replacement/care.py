@@ -1,0 +1,143 @@
+"""CARE — Concurrency-Aware Enhanced lightweight cache management
+(Lu, Wang & Sun, HPCA 2023 — paper ref [35]).
+
+CARE is the paper's representative of a **concurrency-aware but
+non-holistic** scheme (Table IV: holistic no, concurrency yes).  It
+differs from reuse-distance schemes by weighing *miss cost*, not just
+miss count: in systems with many overlapped accesses, some misses are
+cheap (hidden by concurrency) and some are costly (pure misses).  CARE
+biases its insertion and hit-promotion decisions with C-AMAT-derived
+feedback so that blocks whose misses would be costly are retained
+preferentially.
+
+Our implementation keeps CARE's published decision structure:
+
+* a sampled-set-trained **reuse predictor** (PC-signature saturating
+  counters) supplies the locality component;
+* the **concurrency component** is the per-core LLC-obstruction signal
+  delivered each 100K-cycle epoch via :meth:`observe_epoch` — the same
+  C-AMAT machinery CHROME consumes (Sec. II-C);
+* **insertion**: predicted-reusable lines insert near-MRU, but if the
+  requesting core is currently LLC-obstructed (caching buys it little),
+  insertion is demoted one level; predicted-non-reusable lines insert
+  at distant priority, demoted to immediate-eviction priority when the
+  core is obstructed;
+* **hit promotion**: full promotion for non-obstructed cores, partial
+  promotion otherwise.
+
+CARE does not bypass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..access import PREFETCH, WRITEBACK, AccessInfo
+from ..address import fold_hash
+from ..block import CacheBlock
+from .base import ReplacementPolicy
+from .optgen import choose_sampled_sets
+from .srrip import RRPV_MAX
+
+SIGNATURE_BITS = 13
+COUNTER_MAX = 7
+REUSE_THRESHOLD = 4
+
+
+class CAREPolicy(ReplacementPolicy):
+    """Concurrency-aware insertion/promotion over RRIP machinery."""
+
+    name = "care"
+
+    def __init__(self, sampled_sets: int = 64, num_cores: int = 16) -> None:
+        super().__init__()
+        self._sampled_target = sampled_sets
+        self._num_cores = num_cores
+        self._predictor: Dict[int, int] = {}
+        self._rrpv: List[List[int]] = []
+        self._sig: List[List[int]] = []
+        self._reused: List[List[bool]] = []
+        self._sampled: set[int] = set()
+        self._obstructed: List[bool] = [False] * num_cores
+
+    def attach(self, num_sets: int, num_ways: int) -> None:
+        super().attach(num_sets, num_ways)
+        self._rrpv = [[RRPV_MAX] * num_ways for _ in range(num_sets)]
+        self._sig = [[0] * num_ways for _ in range(num_sets)]
+        self._reused = [[False] * num_ways for _ in range(num_sets)]
+        self._sampled = choose_sampled_sets(num_sets, self._sampled_target)
+
+    # --- concurrency feedback -------------------------------------------------
+
+    def observe_epoch(self, obstructed_cores: List[bool]) -> None:
+        for i, flag in enumerate(obstructed_cores[: self._num_cores]):
+            self._obstructed[i] = flag
+
+    def _core_obstructed(self, core: int) -> bool:
+        return self._obstructed[core % self._num_cores]
+
+    # --- reuse predictor ------------------------------------------------------
+
+    def _signature(self, info: AccessInfo) -> int:
+        return fold_hash(
+            info.pc * 2 + (1 if info.type == PREFETCH else 0), SIGNATURE_BITS
+        )
+
+    def _predict_reusable(self, info: AccessInfo) -> bool:
+        sig = self._signature(info)
+        return self._predictor.get(sig, REUSE_THRESHOLD) >= REUSE_THRESHOLD
+
+    # --- policy hooks ------------------------------------------------------------
+
+    def find_victim(self, info: AccessInfo, blocks: Sequence[CacheBlock]) -> int:
+        rrpv = self._rrpv[info.set_index]
+        while True:
+            for way, value in enumerate(rrpv):
+                if value >= RRPV_MAX:
+                    return way
+            for way in range(len(rrpv)):
+                rrpv[way] += 1
+
+    def on_hit(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        s = info.set_index
+        if info.type == WRITEBACK:
+            return
+        if s in self._sampled and not self._reused[s][way]:
+            sig = self._sig[s][way]
+            counter = self._predictor.get(sig, REUSE_THRESHOLD)
+            self._predictor[sig] = min(COUNTER_MAX, counter + 1)
+        self._reused[s][way] = True
+        if self._core_obstructed(info.core):
+            # Partial promotion: the hit was likely overlapped/cheap.
+            self._rrpv[s][way] = max(0, self._rrpv[s][way] - 1)
+        else:
+            self._rrpv[s][way] = 0
+
+    def on_fill(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        s = info.set_index
+        self._sig[s][way] = self._signature(info)
+        self._reused[s][way] = False
+        if info.type == WRITEBACK:
+            self._rrpv[s][way] = RRPV_MAX
+            return
+        reusable = self._predict_reusable(info)
+        obstructed = self._core_obstructed(info.core)
+        if reusable:
+            self._rrpv[s][way] = 1 if obstructed else 0
+        else:
+            self._rrpv[s][way] = RRPV_MAX if obstructed else RRPV_MAX - 1
+
+    def on_eviction(
+        self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int
+    ) -> None:
+        s = info.set_index
+        if s in self._sampled and not self._reused[s][way]:
+            sig = self._sig[s][way]
+            counter = self._predictor.get(sig, REUSE_THRESHOLD)
+            self._predictor[sig] = max(0, counter - 1)
+
+    def storage_overhead_bits(self) -> int:
+        predictor = (1 << SIGNATURE_BITS) * 3
+        per_block = 3 + SIGNATURE_BITS + 1
+        camat_counters = self._num_cores * 2 * 32
+        return predictor + camat_counters + self.num_sets * self.num_ways * per_block

@@ -1,0 +1,187 @@
+"""Glider cache replacement (Shi et al., MICRO 2019 — paper ref [44]).
+
+Glider's insight: an attention-based LSTM trained offline on Belady-OPT
+labels can be distilled into a simple online model — an **Integer
+Support Vector Machine (ISVM)** over the history of recent PCs.  We
+implement that practical online version:
+
+* a per-core **PC History Register (PCHR)** holds the last 5 distinct
+  load PCs;
+* an **ISVM table** indexed by (hashed) current PC holds 16 small
+  integer weights; each PC in the PCHR hashes to one weight, and the
+  prediction is the sum of the selected weights;
+* **training labels** come from OPTgen on sampled sets, exactly as in
+  Hawkeye; weights are incremented on OPT-hit and decremented on
+  OPT-miss, with updates suppressed once the margin exceeds a training
+  threshold (the fixed-margin perceptron/SVM rule);
+* **replacement** maps the prediction to RRPV: confident-friendly
+  inserts at 0, confident-averse at 7, uncertain at an intermediate
+  value.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Sequence, Tuple
+
+from ..access import PREFETCH, WRITEBACK, AccessInfo
+from ..address import fold_hash
+from ..block import CacheBlock
+from .base import ReplacementPolicy, oldest_way
+from .optgen import OPTgen, choose_sampled_sets
+
+RRPV_MAX = 7
+ISVM_TABLE_BITS = 11  # 2048 ISVMs
+ISVM_WEIGHTS = 17  # 16 history-hash weights + 1 always-on bias
+BIAS_WEIGHT = 16
+WEIGHT_CLAMP = 15
+PREDICT_THRESHOLD_HIGH = 12  # >= : confidently cache-friendly
+TRAIN_MARGIN = 30  # stop updating once |sum| exceeds this
+PCHR_LENGTH = 5
+
+
+class GliderPolicy(ReplacementPolicy):
+    """Online ISVM over PC history, trained against Belady-OPT."""
+
+    name = "glider"
+
+    def __init__(self, sampled_sets: int = 64, num_cores: int = 16) -> None:
+        super().__init__()
+        self._sampled_target = sampled_sets
+        self._isvm: Dict[int, List[int]] = {}
+        self._optgen: Dict[int, OPTgen] = {}
+        self._pchr: List[Deque[int]] = [deque(maxlen=PCHR_LENGTH) for _ in range(num_cores)]
+        self._rrpv: List[List[int]] = []
+        # Remember the (table index, weight indices) active when each
+        # sampled-set access happened so OPTgen verdicts train the right
+        # weights later.
+        self._pending: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...]]] = {}
+        self._num_cores = num_cores
+
+    def attach(self, num_sets: int, num_ways: int) -> None:
+        super().attach(num_sets, num_ways)
+        self._rrpv = [[RRPV_MAX] * num_ways for _ in range(num_sets)]
+        self._optgen = {
+            s: OPTgen(num_ways)
+            for s in choose_sampled_sets(num_sets, self._sampled_target)
+        }
+        # Each sampler tracks at most one window of addresses; size the
+        # pending-feature store to cover all of them.
+        self._pending_cap = max(1, len(self._optgen)) * (8 * num_ways + 1)
+
+    # --- ISVM ---------------------------------------------------------------
+
+    def _features(self, info: AccessInfo) -> Tuple[int, Tuple[int, ...]]:
+        """(ISVM table index for the current PC, weight indices from PCHR)."""
+        table_idx = fold_hash(
+            info.pc * 2 + (1 if info.type == PREFETCH else 0), ISVM_TABLE_BITS
+        )
+        core = info.core % self._num_cores
+        history = self._pchr[core]
+        # The always-on bias weight keeps a per-PC prior even when the
+        # history register carries little information.
+        weight_idxs = (BIAS_WEIGHT,) + tuple(fold_hash(pc, 4) for pc in history)
+        return table_idx, weight_idxs
+
+    def _predict(self, table_idx: int, weight_idxs: Tuple[int, ...]) -> int:
+        weights = self._isvm.get(table_idx)
+        if weights is None:
+            return 0
+        return sum(weights[w] for w in weight_idxs)
+
+    def _train(
+        self, table_idx: int, weight_idxs: Tuple[int, ...], opt_hit: bool
+    ) -> None:
+        weights = self._isvm.setdefault(table_idx, [0] * ISVM_WEIGHTS)
+        current = sum(weights[w] for w in weight_idxs)
+        # Fixed-margin rule: once confidently correct, stop growing.
+        if opt_hit and current > TRAIN_MARGIN:
+            return
+        if not opt_hit and current < -TRAIN_MARGIN:
+            return
+        delta = 1 if opt_hit else -1
+        for w in weight_idxs:
+            updated = weights[w] + delta
+            weights[w] = max(-WEIGHT_CLAMP, min(WEIGHT_CLAMP, updated))
+
+    def _update_pchr(self, info: AccessInfo) -> None:
+        core = info.core % self._num_cores
+        history = self._pchr[core]
+        if info.pc in history:
+            history.remove(info.pc)
+        history.append(info.pc)
+
+    # --- OPTgen training --------------------------------------------------
+
+    def _observe_sampled(
+        self, info: AccessInfo, features: Tuple[int, Tuple[int, ...]]
+    ) -> None:
+        gen = self._optgen.get(info.set_index)
+        if gen is None or info.type == WRITEBACK:
+            return
+        for opt_hit, _pc, _was_prefetch, addr in gen.access(
+            info.block_addr, info.pc, info.type == PREFETCH
+        ):
+            # Train the ISVM features recorded when that access happened
+            # (timeout verdicts train the aged-out block's features).
+            pending = self._pending.pop((info.set_index, addr), None)
+            if pending is not None:
+                self._train(pending[0], pending[1], opt_hit)
+        self._pending[(info.set_index, info.block_addr)] = features
+        if len(self._pending) > self._pending_cap:
+            self._pending.pop(next(iter(self._pending)))
+
+    # --- policy hooks ------------------------------------------------------------
+
+    def _insertion_rrpv(self, prediction: int) -> int:
+        if prediction >= PREDICT_THRESHOLD_HIGH:
+            return 0
+        if prediction < 0:
+            return RRPV_MAX
+        return 2
+
+    def find_victim(self, info: AccessInfo, blocks: Sequence[CacheBlock]) -> int:
+        rrpv = self._rrpv[info.set_index]
+        for way, value in enumerate(rrpv):
+            if value == RRPV_MAX:
+                return way
+        best_way, best_value = 0, -1
+        for way, value in enumerate(rrpv):
+            if value > best_value:
+                best_way, best_value = way, value
+        if best_value < RRPV_MAX - 1:
+            return oldest_way(blocks)
+        return best_way
+
+    def on_hit(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        if info.type == WRITEBACK:
+            return
+        features = self._features(info)
+        self._observe_sampled(info, features)
+        prediction = self._predict(*features)
+        self._rrpv[info.set_index][way] = self._insertion_rrpv(prediction)
+        self._update_pchr(info)
+
+    def on_fill(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        s = info.set_index
+        if info.type == WRITEBACK:
+            self._rrpv[s][way] = RRPV_MAX
+            return
+        features = self._features(info)
+        self._observe_sampled(info, features)
+        prediction = self._predict(*features)
+        insertion = self._insertion_rrpv(prediction)
+        if insertion == 0:
+            rrpv = self._rrpv[s]
+            for w in range(len(rrpv)):
+                if w != way and rrpv[w] < RRPV_MAX - 1:
+                    rrpv[w] += 1
+        self._rrpv[s][way] = insertion
+        self._update_pchr(info)
+
+    def storage_overhead_bits(self) -> int:
+        isvm = (1 << ISVM_TABLE_BITS) * ISVM_WEIGHTS * 8
+        per_block = 3
+        sampler = len(self._optgen) * self.num_ways * 8 * 16
+        pchr = self._num_cores * PCHR_LENGTH * 16
+        return isvm + sampler + pchr + self.num_sets * self.num_ways * per_block

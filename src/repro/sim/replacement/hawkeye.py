@@ -1,0 +1,136 @@
+"""Hawkeye cache replacement (Jain & Lin, ISCA 2016 — paper ref [21]).
+
+Structure follows the published design:
+
+* **OPTgen** on 64 sampled sets reconstructs Belady-OPT hit/miss
+  verdicts for past insertions (see :mod:`.optgen`);
+* a **PC-indexed predictor** of 3-bit saturating counters classifies
+  each load as cache-friendly or cache-averse (binary classification,
+  as Sec. II-A of the CHROME paper describes), with separate signatures
+  for demand and prefetch accesses (the CRC-2 prefetch-aware variant);
+* **replacement** uses 3-bit RRPV: friendly lines insert at 0, averse
+  at 7; averse lines are evicted first; evicting a friendly line
+  detrains the PC that inserted it.
+
+Hawkeye neither bypasses nor uses concurrency feedback (Table IV).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..access import PREFETCH, WRITEBACK, AccessInfo
+from ..address import fold_hash
+from ..block import CacheBlock
+from .base import ReplacementPolicy, oldest_way
+from .optgen import OPTgen, choose_sampled_sets
+
+RRPV_MAX = 7  # 3-bit
+PREDICTOR_BITS = 13
+COUNTER_MAX = 7
+FRIENDLY_THRESHOLD = 4
+
+
+class HawkeyePolicy(ReplacementPolicy):
+    """Belady-OPT-mimicking replacement with a PC classifier."""
+
+    name = "hawkeye"
+
+    def __init__(self, sampled_sets: int = 64) -> None:
+        super().__init__()
+        self._sampled_target = sampled_sets
+        self._predictor: Dict[int, int] = {}
+        self._optgen: Dict[int, OPTgen] = {}
+        self._rrpv: List[List[int]] = []
+        self._friendly: List[List[bool]] = []
+        self._fill_sig: List[List[int]] = []
+
+    def attach(self, num_sets: int, num_ways: int) -> None:
+        super().attach(num_sets, num_ways)
+        self._rrpv = [[RRPV_MAX] * num_ways for _ in range(num_sets)]
+        self._friendly = [[False] * num_ways for _ in range(num_sets)]
+        self._fill_sig = [[0] * num_ways for _ in range(num_sets)]
+        self._optgen = {
+            s: OPTgen(num_ways) for s in choose_sampled_sets(num_sets, self._sampled_target)
+        }
+
+    # --- prediction -----------------------------------------------------
+
+    def _signature(self, pc: int, is_prefetch: bool) -> int:
+        return fold_hash(pc * 2 + (1 if is_prefetch else 0), PREDICTOR_BITS)
+
+    def _predict_friendly(self, info: AccessInfo) -> bool:
+        sig = self._signature(info.pc, info.type == PREFETCH)
+        return self._predictor.get(sig, FRIENDLY_THRESHOLD) >= FRIENDLY_THRESHOLD
+
+    def _train(self, pc: int, was_prefetch: bool, opt_hit: bool) -> None:
+        sig = self._signature(pc, was_prefetch)
+        counter = self._predictor.get(sig, FRIENDLY_THRESHOLD)
+        if opt_hit:
+            counter = min(COUNTER_MAX, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._predictor[sig] = counter
+
+    def _observe_sampled(self, info: AccessInfo) -> None:
+        gen = self._optgen.get(info.set_index)
+        if gen is None or info.type == WRITEBACK:
+            return
+        for opt_hit, train_pc, was_prefetch, _addr in gen.access(
+            info.block_addr, info.pc, info.type == PREFETCH
+        ):
+            self._train(train_pc, was_prefetch, opt_hit)
+
+    # --- policy hooks ------------------------------------------------------
+
+    def find_victim(self, info: AccessInfo, blocks: Sequence[CacheBlock]) -> int:
+        rrpv = self._rrpv[info.set_index]
+        # Evict a cache-averse line first (RRPV saturated).
+        best_way, best_rrpv = 0, -1
+        for way, value in enumerate(rrpv):
+            if value == RRPV_MAX:
+                return way
+            if value > best_rrpv:
+                best_way, best_rrpv = way, value
+        # All lines friendly: evict the stalest and detrain its PC.
+        victim = oldest_way(blocks)
+        sig = self._fill_sig[info.set_index][victim]
+        counter = self._predictor.get(sig, FRIENDLY_THRESHOLD)
+        self._predictor[sig] = max(0, counter - 1)
+        return victim
+
+    def on_hit(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        self._observe_sampled(info)
+        if info.type == WRITEBACK:
+            return
+        s = info.set_index
+        friendly = self._predict_friendly(info)
+        self._friendly[s][way] = friendly
+        self._rrpv[s][way] = 0 if friendly else RRPV_MAX
+
+    def on_fill(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        self._observe_sampled(info)
+        s = info.set_index
+        if info.type == WRITEBACK:
+            self._rrpv[s][way] = RRPV_MAX
+            self._friendly[s][way] = False
+            self._fill_sig[s][way] = 0
+            return
+        friendly = self._predict_friendly(info)
+        self._friendly[s][way] = friendly
+        self._fill_sig[s][way] = self._signature(info.pc, info.type == PREFETCH)
+        if friendly:
+            # Age other friendly lines so the victim scan can order them.
+            rrpv = self._rrpv[s]
+            for w in range(len(rrpv)):
+                if w != way and rrpv[w] < RRPV_MAX - 1:
+                    rrpv[w] += 1
+            rrpv[way] = 0
+        else:
+            self._rrpv[s][way] = RRPV_MAX
+
+    def storage_overhead_bits(self) -> int:
+        predictor = (1 << PREDICTOR_BITS) * 3
+        per_block = 3 + 1 + PREDICTOR_BITS  # rrpv + friendly + signature
+        sampler = len(self._optgen) * self.num_ways * 8 * 16  # occupancy history
+        return predictor + sampler + self.num_sets * self.num_ways * per_block

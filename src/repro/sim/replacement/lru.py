@@ -1,0 +1,29 @@
+"""Least-Recently-Used baseline (the paper's normalization baseline)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..access import AccessInfo
+from ..block import CacheBlock
+from .base import ReplacementPolicy, oldest_way
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True LRU over each set's ``last_touch`` timestamps.
+
+    Recency updates happen in the cache itself (every hit and fill
+    refreshes ``last_touch``), so the policy only needs to pick the
+    stalest way.
+    """
+
+    name = "lru"
+
+    def find_victim(self, info: AccessInfo, blocks: Sequence[CacheBlock]) -> int:
+        return oldest_way(blocks)
+
+    def storage_overhead_bits(self) -> int:
+        # log2(ways) recency bits per block.
+        ways = max(self.num_ways, 1)
+        bits_per_block = max((ways - 1).bit_length(), 1)
+        return self.num_sets * self.num_ways * bits_per_block

@@ -1,0 +1,117 @@
+"""OPTgen — Belady's-OPT emulation on sampled sets.
+
+Shared infrastructure for Hawkeye [21] and Glider [44]: both train
+their predictors from the decisions Belady's optimal policy *would*
+have made, reconstructed online with the OPTgen occupancy-vector
+algorithm (Jain & Lin, ISCA 2016).
+
+For each sampled set we keep a sliding window of "time quanta" (one
+per access to that set) and an occupancy count per quantum.  When
+address X is accessed at time t and was previously accessed at t0
+within the window, OPT would have hit iff every quantum in [t0, t) has
+spare capacity; in that case the interval's occupancy is incremented
+(the line would have been cached across it).
+
+Tracked addresses that age out of the window without a re-access are
+**timed out**: OPT would not have cached them, so their last-access PC
+trains as an OPT miss.  This is the path that detrains streaming /
+single-use PCs (they are never re-accessed, so re-access-driven
+training alone would never see them), and it also bounds the tracker's
+memory to one window of addresses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: one OPTgen training verdict: (opt_would_hit, pc, was_prefetch, block_addr)
+Verdict = Tuple[bool, int, bool, int]
+
+
+@dataclass(slots=True)
+class _LastAccess:
+    time: int
+    pc: int
+    was_prefetch: bool
+
+
+class OPTgen:
+    """Occupancy-vector OPT oracle for one sampled cache set."""
+
+    def __init__(self, cache_ways: int, history_quanta: int | None = None) -> None:
+        self.ways = cache_ways
+        self.window = history_quanta or 8 * cache_ways
+        self._occupancy = [0] * self.window
+        self._time = 0
+        # ordered by last-access time (re-insertions move to the end)
+        self._last: "OrderedDict[int, _LastAccess]" = OrderedDict()
+        self.opt_hits = 0
+        self.opt_misses = 0
+
+    def access(self, block_addr: int, pc: int, is_prefetch: bool) -> List[Verdict]:
+        """Record an access; return all training verdicts it produces.
+
+        Verdicts cover (a) the previous access to this block, judged by
+        the occupancy vector, and (b) any tracked blocks whose last
+        access just aged out of the window (OPT misses by timeout).
+        Each verdict names the PC whose insertion decision OPT judged.
+        """
+        verdicts: List[Verdict] = []
+        t = self._time
+        self._time += 1
+        self._occupancy[t % self.window] = 0  # new quantum starts empty
+
+        # Timeout sweep: entries whose window has fully passed.
+        horizon = t - self.window
+        while self._last:
+            addr, entry = next(iter(self._last.items()))
+            if entry.time > horizon:
+                break
+            del self._last[addr]
+            self.opt_misses += 1
+            verdicts.append((False, entry.pc, entry.was_prefetch, addr))
+
+        prev = self._last.pop(block_addr, None)
+        self._last[block_addr] = _LastAccess(t, pc, is_prefetch)
+
+        if prev is not None:
+            # Still inside the window (older entries were timed out above).
+            fits = True
+            for q in range(prev.time, t):
+                if self._occupancy[q % self.window] >= self.ways:
+                    fits = False
+                    break
+            if fits:
+                for q in range(prev.time, t):
+                    self._occupancy[q % self.window] += 1
+                self.opt_hits += 1
+            else:
+                self.opt_misses += 1
+            verdicts.append((fits, prev.pc, prev.was_prefetch, block_addr))
+        return verdicts
+
+    @property
+    def opt_hit_rate(self) -> float:
+        total = self.opt_hits + self.opt_misses
+        return self.opt_hits / total if total else 0.0
+
+    @property
+    def tracked(self) -> int:
+        return len(self._last)
+
+
+def choose_sampled_sets(num_sets: int, target: int = 64) -> set[int]:
+    """Evenly spread ``target`` sampled sets across the cache.
+
+    The paper (and Hawkeye/Mockingjay/CARE before it) observes that
+    access patterns are consistent across sets, so a static, evenly
+    strided sample is standard practice.
+    """
+    if target <= 0:
+        return set()
+    if num_sets <= target:
+        return set(range(num_sets))
+    stride = num_sets // target
+    return set((i * stride) % num_sets for i in range(target))

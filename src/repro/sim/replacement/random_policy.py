@@ -1,0 +1,23 @@
+"""Random replacement — a sanity baseline used by tests and examples."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..access import AccessInfo
+from ..block import CacheBlock
+from .base import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random way (deterministic under a fixed seed)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def find_victim(self, info: AccessInfo, blocks: Sequence[CacheBlock]) -> int:
+        return self._rng.randrange(len(blocks))

@@ -1,0 +1,94 @@
+"""SHiP++-style signature-based hit predictor (related work, Sec. VIII).
+
+Wu et al., MICRO 2011 [55] with the SHiP++ refinements of Young et al.
+[58]: PC-signature-indexed saturating counters (SHCT) trained on
+sampled sets, prefetch-aware signatures, and SHCT updates only on the
+first re-reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..access import PREFETCH, WRITEBACK, AccessInfo
+from ..address import fold_hash
+from ..block import CacheBlock
+from .base import ReplacementPolicy
+from .srrip import RRPV_LONG, RRPV_MAX
+
+
+class SHiPPolicy(ReplacementPolicy):
+    """Signature Hit Predictor over RRIP eviction machinery."""
+
+    name = "ship++"
+
+    SHCT_BITS = 14
+    SHCT_MAX = 7  # 3-bit counters
+
+    def __init__(self, sampled_sets: int = 64) -> None:
+        super().__init__()
+        self._sampled_sets_target = sampled_sets
+        self._shct: Dict[int, int] = {}
+        self._rrpv: List[List[int]] = []
+        self._sig: List[List[int]] = []  # per-block fill signature
+        self._outcome: List[List[bool]] = []  # reused since fill?
+        self._sampled: set[int] = set()
+
+    def attach(self, num_sets: int, num_ways: int) -> None:
+        super().attach(num_sets, num_ways)
+        self._rrpv = [[RRPV_MAX] * num_ways for _ in range(num_sets)]
+        self._sig = [[0] * num_ways for _ in range(num_sets)]
+        self._outcome = [[False] * num_ways for _ in range(num_sets)]
+        stride = max(1, num_sets // max(1, self._sampled_sets_target))
+        self._sampled = set(range(0, num_sets, stride))
+
+    def _signature(self, info: AccessInfo) -> int:
+        base = info.pc * 2 + (1 if info.type == PREFETCH else 0)
+        return fold_hash(base, self.SHCT_BITS)
+
+    def find_victim(self, info: AccessInfo, blocks: Sequence[CacheBlock]) -> int:
+        rrpv = self._rrpv[info.set_index]
+        while True:
+            for way, value in enumerate(rrpv):
+                if value >= RRPV_MAX:
+                    return way
+            for way in range(len(rrpv)):
+                rrpv[way] += 1
+
+    def on_hit(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        s = info.set_index
+        self._rrpv[s][way] = 0
+        if s in self._sampled and not self._outcome[s][way]:
+            # SHiP++: train only on the first re-reference.
+            sig = self._sig[s][way]
+            self._shct[sig] = min(self.SHCT_MAX, self._shct.get(sig, 1) + 1)
+        self._outcome[s][way] = True
+
+    def on_fill(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        s = info.set_index
+        sig = self._signature(info)
+        self._sig[s][way] = sig
+        self._outcome[s][way] = False
+        if info.type == WRITEBACK:
+            self._rrpv[s][way] = RRPV_MAX
+            return
+        counter = self._shct.get(sig, 1)
+        if counter == 0:
+            self._rrpv[s][way] = RRPV_MAX  # predicted dead on arrival
+        elif counter >= self.SHCT_MAX:
+            self._rrpv[s][way] = 0
+        else:
+            self._rrpv[s][way] = RRPV_LONG
+
+    def on_eviction(
+        self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int
+    ) -> None:
+        s = info.set_index
+        if s in self._sampled and not self._outcome[s][way]:
+            sig = self._sig[s][way]
+            self._shct[sig] = max(0, self._shct.get(sig, 1) - 1)
+
+    def storage_overhead_bits(self) -> int:
+        shct_bits = (1 << self.SHCT_BITS) * 3
+        per_block = RRPV_MAX.bit_length() + self.SHCT_BITS + 1
+        return shct_bits + self.num_sets * self.num_ways * per_block

@@ -1,0 +1,123 @@
+"""SRRIP / BRRIP / DRRIP re-reference interval prediction policies.
+
+Jaleel et al., ISCA 2010 (paper reference [23]).  Not one of the five
+headline schemes, but the EPV machinery CHROME builds on is an RRPV
+counter, so these serve both as extra baselines and as the reference
+semantics for EPV aging used elsewhere in the repo.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..access import AccessInfo
+from ..block import CacheBlock
+from .base import ReplacementPolicy
+
+RRPV_BITS = 2
+RRPV_MAX = (1 << RRPV_BITS) - 1  # 3
+RRPV_LONG = RRPV_MAX - 1  # 2
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Static RRIP: insert with long re-reference interval, promote on hit."""
+
+    name = "srrip"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rrpv: List[List[int]] = []
+
+    def attach(self, num_sets: int, num_ways: int) -> None:
+        super().attach(num_sets, num_ways)
+        self._rrpv = [[RRPV_MAX] * num_ways for _ in range(num_sets)]
+
+    def _insertion_rrpv(self, info: AccessInfo) -> int:
+        return RRPV_LONG
+
+    def find_victim(self, info: AccessInfo, blocks: Sequence[CacheBlock]) -> int:
+        rrpv = self._rrpv[info.set_index]
+        while True:
+            for way, value in enumerate(rrpv):
+                if value >= RRPV_MAX:
+                    return way
+            for way in range(len(rrpv)):
+                rrpv[way] += 1
+
+    def on_hit(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        self._rrpv[info.set_index][way] = 0
+
+    def on_fill(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        self._rrpv[info.set_index][way] = self._insertion_rrpv(info)
+
+    def storage_overhead_bits(self) -> int:
+        return self.num_sets * self.num_ways * RRPV_BITS
+
+
+class BRRIPPolicy(SRRIPPolicy):
+    """Bimodal RRIP: mostly-distant insertion to resist thrashing."""
+
+    name = "brrip"
+
+    def __init__(self, long_probability: float = 1.0 / 32.0, seed: int = 7) -> None:
+        super().__init__()
+        self._long_probability = long_probability
+        self._rng = random.Random(seed)
+
+    def _insertion_rrpv(self, info: AccessInfo) -> int:
+        if self._rng.random() < self._long_probability:
+            return RRPV_LONG
+        return RRPV_MAX
+
+
+class DRRIPPolicy(SRRIPPolicy):
+    """Dynamic RRIP with set-dueling between SRRIP and BRRIP."""
+
+    name = "drrip"
+
+    def __init__(
+        self,
+        dueling_sets: int = 32,
+        long_probability: float = 1.0 / 32.0,
+        seed: int = 7,
+    ) -> None:
+        super().__init__()
+        self._dueling_sets = dueling_sets
+        self._long_probability = long_probability
+        self._rng = random.Random(seed)
+        self._psel = 0  # >0 favors BRRIP, <=0 favors SRRIP
+        self._psel_max = 1023
+        self._srrip_sets: set[int] = set()
+        self._brrip_sets: set[int] = set()
+
+    def attach(self, num_sets: int, num_ways: int) -> None:
+        super().attach(num_sets, num_ways)
+        rng = random.Random(12345)
+        sets = rng.sample(range(num_sets), min(2 * self._dueling_sets, num_sets))
+        half = len(sets) // 2
+        self._srrip_sets = set(sets[:half])
+        self._brrip_sets = set(sets[half:])
+
+    def _insertion_rrpv(self, info: AccessInfo) -> int:
+        s = info.set_index
+        if s in self._srrip_sets:
+            use_brrip = False
+        elif s in self._brrip_sets:
+            use_brrip = True
+        else:
+            use_brrip = self._psel > 0
+        if not use_brrip:
+            return RRPV_LONG
+        if self._rng.random() < self._long_probability:
+            return RRPV_LONG
+        return RRPV_MAX
+
+    def on_fill(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        # A miss in a dueling set votes against that set's policy.
+        s = info.set_index
+        if s in self._srrip_sets and self._psel < self._psel_max:
+            self._psel += 1
+        elif s in self._brrip_sets and self._psel > -self._psel_max:
+            self._psel -= 1
+        super().on_fill(info, blocks, way)

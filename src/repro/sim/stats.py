@@ -1,0 +1,173 @@
+"""Statistics collection for caches and the whole system.
+
+The counters here feed every evaluation metric in the paper:
+
+* LLC demand miss ratio (Fig. 7) — ``demand_hits`` / ``demand_misses``;
+* effective prefetch hit ratio, EPHR (Fig. 8) —
+  ``prefetch_fill_hits`` / ``prefetch_fills``;
+* bypass coverage and efficiency (Fig. 9) — ``bypasses`` plus the
+  bypassed-block re-request tracker;
+* unused-evicted-block analysis (Fig. 2) — eviction records with
+  reuse flags, resolved against future requests at end of run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for a single cache level."""
+
+    name: str = "cache"
+    demand_hits: int = 0
+    demand_misses: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    writeback_hits: int = 0
+    writeback_misses: int = 0
+    evictions: int = 0
+    writebacks_out: int = 0
+
+    @property
+    def demand_accesses(self) -> int:
+        return self.demand_hits + self.demand_misses
+
+    @property
+    def demand_miss_ratio(self) -> float:
+        total = self.demand_accesses
+        return self.demand_misses / total if total else 0.0
+
+    def record(self, access_type: str, hit: bool) -> None:
+        if access_type == "demand":
+            if hit:
+                self.demand_hits += 1
+            else:
+                self.demand_misses += 1
+        elif access_type == "prefetch":
+            if hit:
+                self.prefetch_hits += 1
+            else:
+                self.prefetch_misses += 1
+        else:  # writeback
+            if hit:
+                self.writeback_hits += 1
+            else:
+                self.writeback_misses += 1
+
+
+@dataclass
+class LLCManagementStats:
+    """Policy-facing LLC statistics (bypass / prefetch-use / reuse)."""
+
+    fills: int = 0
+    prefetch_fills: int = 0
+    prefetch_fill_hits: int = 0  # prefetched blocks that saw a demand hit
+    bypasses: int = 0
+    incoming_blocks: int = 0  # fill candidates (fills + bypasses)
+    evicted_unused: int = 0
+    evicted_used: int = 0
+    evicted_unused_prefetch: int = 0
+
+    # Fig. 2 support: blocks evicted without reuse, keyed by block address,
+    # resolved to "requested again later" if a subsequent access touches them.
+    _pending_unused: Dict[int, int] = field(default_factory=dict)
+    unused_requested_again: int = 0
+
+    # Fig. 9 support: bypassed blocks that are demanded again within the
+    # observation window count against bypass efficiency.
+    _bypassed: Set[int] = field(default_factory=set)
+    bypass_mistakes: int = 0
+
+    def on_fill(self, is_prefetch: bool) -> None:
+        self.fills += 1
+        self.incoming_blocks += 1
+        if is_prefetch:
+            self.prefetch_fills += 1
+
+    def on_prefetched_block_hit(self) -> None:
+        self.prefetch_fill_hits += 1
+
+    def on_bypass(self, block_addr: int) -> None:
+        self.bypasses += 1
+        self.incoming_blocks += 1
+        self._bypassed.add(block_addr)
+
+    def on_eviction(self, block_addr: int, reused: bool, was_prefetch: bool) -> None:
+        if reused:
+            self.evicted_used += 1
+        else:
+            self.evicted_unused += 1
+            if was_prefetch:
+                self.evicted_unused_prefetch += 1
+            self._pending_unused[block_addr] = self._pending_unused.get(block_addr, 0) + 1
+
+    def on_demand_request(self, block_addr: int) -> None:
+        """Resolve pending Fig. 2 / Fig. 9 bookkeeping for a new request."""
+        count = self._pending_unused.pop(block_addr, 0)
+        if count:
+            self.unused_requested_again += count
+        if block_addr in self._bypassed:
+            self._bypassed.discard(block_addr)
+            self.bypass_mistakes += 1
+
+    # --- derived metrics -------------------------------------------------
+
+    @property
+    def ephr(self) -> float:
+        """Effective prefetch hit ratio (Fig. 8)."""
+        return (
+            self.prefetch_fill_hits / self.prefetch_fills
+            if self.prefetch_fills
+            else 0.0
+        )
+
+    @property
+    def bypass_coverage(self) -> float:
+        """Fraction of incoming blocks that were bypassed (Fig. 9)."""
+        return self.bypasses / self.incoming_blocks if self.incoming_blocks else 0.0
+
+    @property
+    def bypass_efficiency(self) -> float:
+        """Fraction of bypassed blocks never demanded afterwards (Fig. 9)."""
+        if not self.bypasses:
+            return 0.0
+        return 1.0 - self.bypass_mistakes / self.bypasses
+
+    @property
+    def unused_eviction_fraction(self) -> float:
+        """Fraction of evicted blocks not reused before eviction (Fig. 2a)."""
+        total = self.evicted_used + self.evicted_unused
+        return self.evicted_unused / total if total else 0.0
+
+    @property
+    def unused_eviction_prefetch_fraction(self) -> float:
+        """Among unused evicted blocks, fraction from prefetching (Fig. 2b)."""
+        return (
+            self.evicted_unused_prefetch / self.evicted_unused
+            if self.evicted_unused
+            else 0.0
+        )
+
+    @property
+    def unused_requested_again_fraction(self) -> float:
+        """Among unused evicted blocks, fraction requested again later."""
+        return (
+            self.unused_requested_again / self.evicted_unused
+            if self.evicted_unused
+            else 0.0
+        )
+
+
+@dataclass
+class PrefetcherStats:
+    """Issue/usefulness accounting for one prefetcher."""
+
+    issued: int = 0
+    useful: int = 0  # prefetched blocks that later served a demand hit
+
+    @property
+    def accuracy(self) -> float:
+        return self.useful / self.issued if self.issued else 0.0

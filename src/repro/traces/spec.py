@@ -1,0 +1,475 @@
+"""SPEC CPU2006 / CPU2017-like workload definitions (Table VI).
+
+The paper uses DPC-3 ChampSim traces of the memory-intensive SPEC
+workloads (LLC MPKI > 1).  Those traces are not redistributable, so
+each workload here is a synthetic composition of the primitive
+patterns in :mod:`repro.traces.synthetic`, parameterized to match the
+workload's published memory character (streaming vs. pointer-chasing
+vs. mixed; working-set size relative to the cache hierarchy; write
+traffic; phase behaviour).  See DESIGN.md for the substitution
+rationale.
+
+Working-set sizes are expressed at the paper's full machine scale
+(12 MB LLC = 196608 blocks for 4 cores) and shrink with the ``scale``
+argument so scaled-down machines see geometrically similar pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from .synthetic import (
+    hot_plus_scan,
+    interleave,
+    make_trace,
+    multi_stream,
+    phased,
+    pointer_chase,
+    random_region,
+    stream,
+    strided,
+    working_set_loop,
+)
+from .trace import MemoryAccess, Trace
+
+GeneratorFactory = Callable[[int, float], Iterator[MemoryAccess]]
+
+
+def _blocks(full_scale_blocks: int, scale: float) -> int:
+    """Scale a full-machine working-set size, keeping it nontrivial."""
+    return max(64, int(full_scale_blocks * scale))
+
+
+def _base(region: int) -> int:
+    """Disjoint address regions per component (256 MB apart)."""
+    return 0x1000_0000 + region * 0x1000_0000
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table VI workload: a name, suite tag, and generator factory."""
+
+    name: str
+    suite: str
+    description: str
+    factory: GeneratorFactory
+
+
+def _spec(name: str, suite: str, description: str):
+    """Decorator registering a workload builder."""
+
+    def wrap(fn: GeneratorFactory) -> GeneratorFactory:
+        WORKLOADS[name] = WorkloadSpec(name, suite, description, fn)
+        return fn
+
+    return wrap
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {}
+
+
+# --- SPEC CPU2006 ------------------------------------------------------------
+
+
+@_spec("gcc06", "spec06", "phased compiler: loops, pointer chasing, scans")
+def _gcc06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return phased(
+        [
+            (working_set_loop(0, _base(0), ws_blocks=_blocks(15_000, scale), seed=seed), 10000),
+            (pointer_chase(1, _base(1), ws_blocks=_blocks(80_000, scale), seed=seed + 1), 8000),
+            (stream(2, _base(2), seed=seed + 2), 8000),
+        ]
+    )
+
+
+@_spec("bwaves06", "spec06", "blast-wave solver: wide multi-stream sweeps")
+def _bwaves06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            multi_stream(0, _base(0), num_streams=4, seed=seed),
+            strided(1, _base(1), stride=128, length_blocks=_blocks(120_000, scale), seed=seed + 1),
+        ],
+        [0.7, 0.3],
+        seed=seed,
+    )
+
+
+@_spec("mcf06", "spec06", "network simplex: giant pointer chase, LLC-hostile")
+def _mcf06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            pointer_chase(0, _base(0), ws_blocks=_blocks(600_000, scale), seed=seed),
+            random_region(
+                1,
+                _base(1),
+                region_blocks=_blocks(400_000, scale),
+                hot_blocks=_blocks(12_000, scale),
+                hot_fraction=0.35,
+                seed=seed + 1,
+            ),
+        ],
+        [0.55, 0.45],
+        seed=seed,
+    )
+
+
+@_spec("milc06", "spec06", "lattice QCD: long-stride sweeps, weak locality")
+def _milc06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            strided(0, _base(0), stride=256, length_blocks=_blocks(300_000, scale), seed=seed),
+            stream(1, _base(1), seed=seed + 1),
+        ],
+        [0.65, 0.35],
+        seed=seed,
+    )
+
+
+@_spec("zeusmp06", "spec06", "CFD stencil: three interleaved strided sweeps")
+def _zeusmp06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            strided(0, _base(0), stride=64, length_blocks=_blocks(90_000, scale), seed=seed),
+            strided(1, _base(1), stride=128, length_blocks=_blocks(90_000, scale), seed=seed + 1),
+            strided(2, _base(2), stride=512, length_blocks=_blocks(90_000, scale), seed=seed + 2),
+        ],
+        [0.4, 0.35, 0.25],
+        seed=seed,
+    )
+
+
+@_spec("gromacs06", "spec06", "molecular dynamics: warm working set + neighbors")
+def _gromacs06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            working_set_loop(0, _base(0), ws_blocks=_blocks(8_000, scale), seed=seed),
+            random_region(
+                1,
+                _base(1),
+                region_blocks=_blocks(40_000, scale),
+                hot_blocks=_blocks(4_000, scale),
+                hot_fraction=0.7,
+                seed=seed + 1,
+            ),
+        ],
+        [0.6, 0.4],
+        seed=seed,
+    )
+
+
+@_spec("leslie3d06", "spec06", "turbulence: many streams + warm loop")
+def _leslie3d06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            multi_stream(0, _base(0), num_streams=6, seed=seed),
+            working_set_loop(1, _base(1), ws_blocks=_blocks(12_000, scale), seed=seed + 1),
+        ],
+        [0.65, 0.35],
+        seed=seed,
+    )
+
+
+@_spec("soplex06", "spec06", "LP solver: sparse random + index scans")
+def _soplex06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            random_region(
+                0,
+                _base(0),
+                region_blocks=_blocks(150_000, scale),
+                hot_blocks=_blocks(15_000, scale),
+                hot_fraction=0.5,
+                seed=seed,
+            ),
+            stream(1, _base(1), write_every=6, seed=seed + 1),
+        ],
+        [0.6, 0.4],
+        seed=seed,
+    )
+
+
+@_spec("hmmer06", "spec06", "profile HMM: small hot working set")
+def _hmmer06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            working_set_loop(0, _base(0), ws_blocks=_blocks(10_000, scale), seed=seed),
+            stream(1, _base(1), gap=(8, 20), seed=seed + 1),
+        ],
+        [0.8, 0.2],
+        seed=seed,
+    )
+
+
+@_spec("GemsFDTD06", "spec06", "FDTD: wide streaming with write streams")
+def _gems06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return multi_stream(
+        0, _base(0), num_streams=8, write_streams=2, seed=seed
+    )
+
+
+@_spec("libquantum06", "spec06", "quantum sim: pure streaming, single-use data")
+def _libquantum06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return stream(0, _base(0), write_every=4, gap=(3, 8), seed=seed)
+
+
+@_spec("astar06", "spec06", "pathfinding: pointer chase + polluted hot set")
+def _astar06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            pointer_chase(0, _base(0), ws_blocks=_blocks(120_000, scale), seed=seed),
+            hot_plus_scan(
+                1,
+                _base(1),
+                hot_blocks=_blocks(10_000, scale),
+                hot_fraction=0.65,
+                seed=seed + 1,
+            ),
+        ],
+        [0.5, 0.5],
+        seed=seed,
+    )
+
+
+@_spec("wrf06", "spec06", "weather model: phased stream/stencil/loop")
+def _wrf06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return phased(
+        [
+            (stream(0, _base(0), seed=seed), 12000),
+            (strided(1, _base(1), stride=128, length_blocks=_blocks(60_000, scale), seed=seed + 1), 10000),
+            (working_set_loop(2, _base(2), ws_blocks=_blocks(16_000, scale), seed=seed + 2), 10000),
+        ]
+    )
+
+
+@_spec("xalancbmk06", "spec06", "XML transform: mid-size pointer chasing")
+def _xalancbmk06(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            pointer_chase(0, _base(0), ws_blocks=_blocks(40_000, scale), seed=seed),
+            random_region(
+                1,
+                _base(1),
+                region_blocks=_blocks(80_000, scale),
+                hot_blocks=_blocks(8_000, scale),
+                hot_fraction=0.6,
+                seed=seed + 1,
+            ),
+        ],
+        [0.55, 0.45],
+        seed=seed,
+    )
+
+
+# --- SPEC CPU2017 --------------------------------------------------------------
+
+
+@_spec("gcc17", "spec17", "compiler (2017 inputs): phased irregular mix")
+def _gcc17(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return phased(
+        [
+            (pointer_chase(0, _base(0), ws_blocks=_blocks(100_000, scale), seed=seed), 9000),
+            (working_set_loop(1, _base(1), ws_blocks=_blocks(20_000, scale), seed=seed + 1), 9000),
+            (hot_plus_scan(2, _base(2), hot_blocks=_blocks(9_000, scale), seed=seed + 2), 8000),
+        ]
+    )
+
+
+@_spec("bwaves17", "spec17", "blast waves (2017): five-array sweeps")
+def _bwaves17(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return multi_stream(0, _base(0), num_streams=5, write_streams=1, seed=seed)
+
+
+@_spec("mcf17", "spec17", "network simplex (2017): even larger chase")
+def _mcf17(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            pointer_chase(0, _base(0), ws_blocks=_blocks(800_000, scale), seed=seed),
+            random_region(
+                1,
+                _base(1),
+                region_blocks=_blocks(500_000, scale),
+                hot_blocks=_blocks(16_000, scale),
+                hot_fraction=0.3,
+                seed=seed + 1,
+            ),
+        ],
+        [0.6, 0.4],
+        seed=seed,
+    )
+
+
+@_spec("cactuBSSN17", "spec17", "numerical relativity: many stencil arrays")
+def _cactu17(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            multi_stream(0, _base(0), num_streams=10, seed=seed),
+            strided(1, _base(1), stride=192, length_blocks=_blocks(110_000, scale), seed=seed + 1),
+        ],
+        [0.7, 0.3],
+        seed=seed,
+    )
+
+
+@_spec("lbm17", "spec17", "lattice Boltzmann: stream read + stream write")
+def _lbm17(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return multi_stream(
+        0, _base(0), num_streams=3, write_streams=1, gap=(3, 9), seed=seed
+    )
+
+
+@_spec("omnetpp17", "spec17", "discrete-event sim: scattered heap walk")
+def _omnetpp17(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            pointer_chase(0, _base(0), ws_blocks=_blocks(250_000, scale), seed=seed),
+            random_region(
+                1,
+                _base(1),
+                region_blocks=_blocks(120_000, scale),
+                hot_blocks=_blocks(10_000, scale),
+                hot_fraction=0.45,
+                seed=seed + 1,
+            ),
+        ],
+        [0.5, 0.5],
+        seed=seed,
+    )
+
+
+@_spec("wrf17", "spec17", "weather (2017): phased stencil mix")
+def _wrf17(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return phased(
+        [
+            (multi_stream(0, _base(0), num_streams=4, seed=seed), 12000),
+            (working_set_loop(1, _base(1), ws_blocks=_blocks(22_000, scale), seed=seed + 1), 12000),
+        ]
+    )
+
+
+@_spec("xalancbmk17", "spec17", "XML transform (2017): pointer chase + hot")
+def _xalancbmk17(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            pointer_chase(0, _base(0), ws_blocks=_blocks(55_000, scale), seed=seed),
+            hot_plus_scan(
+                1,
+                _base(1),
+                hot_blocks=_blocks(7_000, scale),
+                hot_fraction=0.7,
+                seed=seed + 1,
+            ),
+        ],
+        [0.5, 0.5],
+        seed=seed,
+    )
+
+
+@_spec("cam417", "spec17", "atmosphere model: strided physics + loops")
+def _cam417(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            strided(0, _base(0), stride=128, length_blocks=_blocks(70_000, scale), seed=seed),
+            working_set_loop(1, _base(1), ws_blocks=_blocks(14_000, scale), seed=seed + 1),
+            stream(2, _base(2), seed=seed + 2),
+        ],
+        [0.4, 0.35, 0.25],
+        seed=seed,
+    )
+
+
+@_spec("pop217", "spec17", "ocean model: multi-stream + mid strides")
+def _pop217(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            multi_stream(0, _base(0), num_streams=4, seed=seed),
+            strided(1, _base(1), stride=256, length_blocks=_blocks(80_000, scale), seed=seed + 1),
+        ],
+        [0.6, 0.4],
+        seed=seed,
+    )
+
+
+@_spec("fotonik3d17", "spec17", "photonics FDTD: streaming stencils")
+def _fotonik17(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            stream(0, _base(0), gap=(3, 9), seed=seed),
+            strided(1, _base(1), stride=64, length_blocks=_blocks(140_000, scale), seed=seed + 1),
+        ],
+        [0.55, 0.45],
+        seed=seed,
+    )
+
+
+@_spec("roms17", "spec17", "ocean model: phased stream + loop")
+def _roms17(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return phased(
+        [
+            (stream(0, _base(0), write_every=8, seed=seed), 13000),
+            (working_set_loop(1, _base(1), ws_blocks=_blocks(18_000, scale), seed=seed + 1), 12000),
+        ]
+    )
+
+
+@_spec("xz17", "spec17", "compressor: dictionary randomness + sequential IO")
+def _xz17(seed: int, scale: float) -> Iterator[MemoryAccess]:
+    return interleave(
+        [
+            random_region(
+                0,
+                _base(0),
+                region_blocks=_blocks(200_000, scale),
+                hot_blocks=_blocks(10_000, scale),
+                hot_fraction=0.55,
+                write_fraction=0.15,
+                seed=seed,
+            ),
+            stream(1, _base(1), seed=seed + 1),
+        ],
+        [0.65, 0.35],
+        seed=seed,
+    )
+
+
+# --- public API ------------------------------------------------------------------
+
+SPEC06_WORKLOADS: Tuple[str, ...] = tuple(
+    n for n, s in WORKLOADS.items() if s.suite == "spec06"
+)
+SPEC17_WORKLOADS: Tuple[str, ...] = tuple(
+    n for n, s in WORKLOADS.items() if s.suite == "spec17"
+)
+ALL_SPEC_WORKLOADS: Tuple[str, ...] = SPEC06_WORKLOADS + SPEC17_WORKLOADS
+
+
+def build_spec_trace(
+    name: str, num_accesses: int, seed: int = 0, scale: float = 1.0
+) -> Trace:
+    """Build a finite trace for one named SPEC-like workload."""
+    try:
+        spec = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown SPEC workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return make_trace(
+        name,
+        lambda: spec.factory(seed, scale),
+        num_accesses,
+        metadata={"suite": spec.suite, "description": spec.description, "seed": seed},
+    )
+
+
+def representative_workloads() -> List[str]:
+    """The eight-workload subset used by Fig. 3-style comparisons."""
+    return [
+        "soplex06",
+        "wrf06",
+        "mcf06",
+        "libquantum06",
+        "xalancbmk17",
+        "omnetpp17",
+        "lbm17",
+        "gcc17",
+    ]

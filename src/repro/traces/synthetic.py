@@ -1,0 +1,255 @@
+"""Primitive synthetic access-pattern generators.
+
+These are the building blocks the SPEC-like workload definitions
+(:mod:`repro.traces.spec`) are composed from.  Each primitive is an
+**infinite** generator of :class:`~repro.traces.trace.MemoryAccess`
+records; composition utilities interleave, phase, and truncate them
+into finite traces.
+
+The primitives span the axes cache-management policies actually react
+to:
+
+* reuse distance (tight loops vs. giant scans),
+* regularity (streams/strides vs. pointer chasing),
+* prefetch friendliness (sequential vs. random),
+* pollution (single-use data mixed into hot working sets),
+* read/write mix and phase changes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Sequence, Tuple
+
+from ..sim.address import BLOCK_SIZE
+from .trace import MemoryAccess, Trace
+
+#: distinct synthetic "code regions"; PCs inside a primitive come from here
+PC_REGION = 0x400000
+
+
+def _pc(region: int, site: int) -> int:
+    """A stable fake program counter for code site ``site`` of a region."""
+    return PC_REGION + region * 0x1000 + site * 4
+
+
+def stream(
+    region: int,
+    base: int,
+    *,
+    stride: int = BLOCK_SIZE,
+    gap: Tuple[int, int] = (4, 12),
+    write_every: int = 0,
+    wrap_blocks: int = 1 << 24,
+    seed: int = 0,
+) -> Iterator[MemoryAccess]:
+    """Sequential stream: one-pass data, prefetch-friendly, no reuse."""
+    rng = random.Random(seed)
+    pc = _pc(region, 0)
+    offset = 0
+    count = 0
+    while True:
+        addr = base + (offset % (wrap_blocks * BLOCK_SIZE))
+        count += 1
+        is_write = write_every > 0 and count % write_every == 0
+        yield MemoryAccess(pc, addr, is_write, rng.randint(*gap))
+        offset += stride
+
+
+def strided(
+    region: int,
+    base: int,
+    *,
+    stride: int,
+    length_blocks: int,
+    gap: Tuple[int, int] = (4, 12),
+    seed: int = 0,
+) -> Iterator[MemoryAccess]:
+    """Repeated strided sweep over a fixed region (stencil-like reuse)."""
+    rng = random.Random(seed)
+    pc = _pc(region, 0)
+    span = length_blocks * BLOCK_SIZE
+    offset = 0
+    while True:
+        yield MemoryAccess(pc, base + offset % span, False, rng.randint(*gap))
+        offset += stride
+
+
+def working_set_loop(
+    region: int,
+    base: int,
+    *,
+    ws_blocks: int,
+    gap: Tuple[int, int] = (4, 12),
+    write_fraction: float = 0.0,
+    seed: int = 0,
+) -> Iterator[MemoryAccess]:
+    """Tight sequential loop over a working set.
+
+    Reuse distance equals the working-set size: hits if it fits in the
+    cache, classic thrashing if slightly over (LRU pathology; scan-
+    resistant policies shine here).
+    """
+    rng = random.Random(seed)
+    pc = _pc(region, 0)
+    idx = 0
+    while True:
+        addr = base + (idx % ws_blocks) * BLOCK_SIZE
+        is_write = write_fraction > 0 and rng.random() < write_fraction
+        yield MemoryAccess(pc, addr, is_write, rng.randint(*gap))
+        idx += 1
+
+
+def pointer_chase(
+    region: int,
+    base: int,
+    *,
+    ws_blocks: int,
+    gap: Tuple[int, int] = (8, 24),
+    seed: int = 0,
+) -> Iterator[MemoryAccess]:
+    """Dependent random walk over a permutation cycle.
+
+    Irregular, prefetch-hostile, with reuse distance ~= working-set
+    size.  The permutation is fixed per seed, so the chain is
+    deterministic and eventually revisits every block.
+    """
+    rng = random.Random(seed)
+    perm = list(range(ws_blocks))
+    rng.shuffle(perm)
+    pc = _pc(region, 0)
+    node = 0
+    while True:
+        yield MemoryAccess(pc, base + node * BLOCK_SIZE, False, rng.randint(*gap))
+        node = perm[node]
+
+
+def random_region(
+    region: int,
+    base: int,
+    *,
+    region_blocks: int,
+    gap: Tuple[int, int] = (6, 18),
+    write_fraction: float = 0.0,
+    hot_fraction: float = 0.0,
+    hot_blocks: int = 0,
+    seed: int = 0,
+) -> Iterator[MemoryAccess]:
+    """Independent random accesses over a region, optionally with a hot
+    subset receiving ``hot_fraction`` of the traffic (Zipf-ish skew)."""
+    rng = random.Random(seed)
+    pc_hot, pc_cold = _pc(region, 0), _pc(region, 1)
+    while True:
+        if hot_blocks and rng.random() < hot_fraction:
+            block = rng.randrange(hot_blocks)
+            pc = pc_hot
+        else:
+            block = rng.randrange(region_blocks)
+            pc = pc_cold
+        is_write = write_fraction > 0 and rng.random() < write_fraction
+        yield MemoryAccess(pc, base + block * BLOCK_SIZE, is_write, rng.randint(*gap))
+
+
+def hot_plus_scan(
+    region: int,
+    base: int,
+    *,
+    hot_blocks: int,
+    hot_fraction: float = 0.6,
+    gap: Tuple[int, int] = (4, 12),
+    seed: int = 0,
+) -> Iterator[MemoryAccess]:
+    """A hot working set polluted by an endless one-pass scan.
+
+    The scan's blocks are used exactly once — the bypass-friendly
+    pattern motivating the paper's holistic view (Sec. III-A).
+    """
+    rng = random.Random(seed)
+    pc_hot, pc_scan = _pc(region, 0), _pc(region, 1)
+    scan_base = base + hot_blocks * BLOCK_SIZE * 4
+    scan_offset = 0
+    while True:
+        if rng.random() < hot_fraction:
+            addr = base + rng.randrange(hot_blocks) * BLOCK_SIZE
+            yield MemoryAccess(pc_hot, addr, False, rng.randint(*gap))
+        else:
+            yield MemoryAccess(
+                pc_scan, scan_base + scan_offset, False, rng.randint(*gap)
+            )
+            scan_offset += BLOCK_SIZE
+
+
+def multi_stream(
+    region: int,
+    base: int,
+    *,
+    num_streams: int,
+    stream_spacing_blocks: int = 1 << 16,
+    gap: Tuple[int, int] = (4, 12),
+    write_streams: int = 0,
+    seed: int = 0,
+) -> Iterator[MemoryAccess]:
+    """Several interleaved sequential streams (array-sweep codes)."""
+    rng = random.Random(seed)
+    offsets = [0] * num_streams
+    while True:
+        s = rng.randrange(num_streams)
+        addr = base + s * stream_spacing_blocks * BLOCK_SIZE + offsets[s]
+        offsets[s] += BLOCK_SIZE
+        is_write = s < write_streams
+        yield MemoryAccess(_pc(region, s), addr, is_write, rng.randint(*gap))
+
+
+# --- composition -----------------------------------------------------------
+
+
+def interleave(
+    components: Sequence[Iterator[MemoryAccess]],
+    weights: Sequence[float],
+    seed: int = 0,
+) -> Iterator[MemoryAccess]:
+    """Probabilistically interleave generators with given weights."""
+    if len(components) != len(weights):
+        raise ValueError("one weight per component required")
+    rng = random.Random(seed)
+    total = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    while True:
+        r = rng.random()
+        for component, bound in zip(components, cumulative):
+            if r <= bound:
+                yield next(component)
+                break
+
+
+def phased(
+    segments: Sequence[Tuple[Iterator[MemoryAccess], int]],
+) -> Iterator[MemoryAccess]:
+    """Run each (generator, length) segment in order, then cycle.
+
+    Models phase-changing applications — the adaptability argument of
+    Sec. III-B.
+    """
+    while True:
+        for component, length in segments:
+            for _ in range(length):
+                yield next(component)
+
+
+def make_trace(
+    name: str,
+    generator_factory,
+    num_accesses: int,
+    metadata: dict | None = None,
+) -> Trace:
+    """Wrap an infinite-generator factory into a replayable finite trace."""
+
+    def factory() -> Iterator[MemoryAccess]:
+        return itertools.islice(generator_factory(), num_accesses)
+
+    return Trace(name=name, factory=factory, metadata=metadata or {})

@@ -1,0 +1,125 @@
+"""Memory-access trace primitives.
+
+The simulator is trace-driven: a *trace* is a finite iterable of
+:class:`MemoryAccess` records, each describing one memory instruction
+(its program counter, the byte address it touches, whether it is a
+store, and how many non-memory instructions preceded it since the last
+memory instruction).  This mirrors the information content of a
+ChampSim/DPC-3 trace record, which is what the paper's evaluation
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryAccess:
+    """A single memory instruction in a trace.
+
+    Attributes:
+        pc: program counter of the memory instruction (byte address).
+        address: virtual/physical byte address touched (we model a flat
+            physical address space; multi-programmed mixes disambiguate
+            cores by giving each core a distinct address-space offset).
+        is_write: True for stores, False for loads.
+        gap: number of non-memory instructions executed since the
+            previous memory instruction (used by the core timing model).
+    """
+
+    pc: int
+    address: int
+    is_write: bool = False
+    gap: int = 0
+
+
+@dataclass
+class Trace:
+    """A named, finite sequence of memory accesses.
+
+    Traces can either be fully materialized (``records``) or produced
+    lazily from a generator factory (``factory``), which keeps very
+    long benchmark traces out of memory.  Iterating a factory-backed
+    trace always restarts it from the beginning, so a single Trace can
+    be replayed for every policy under comparison.
+    """
+
+    name: str
+    records: Sequence[MemoryAccess] | None = None
+    factory: Callable[[], Iterator[MemoryAccess]] | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.records is None) == (self.factory is None):
+            raise ValueError("exactly one of records/factory must be given")
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        if self.records is not None:
+            return iter(self.records)
+        assert self.factory is not None
+        return self.factory()
+
+    def materialize(self) -> "Trace":
+        """Return an equivalent trace with all records in memory."""
+        if self.records is not None:
+            return self
+        return Trace(name=self.name, records=list(self), metadata=dict(self.metadata))
+
+    def __len__(self) -> int:
+        if self.records is None:
+            raise TypeError(
+                f"trace {self.name!r} is lazily generated; materialize() it "
+                "before asking for its length"
+            )
+        return len(self.records)
+
+    def with_address_offset(self, offset: int) -> "Trace":
+        """Return a copy whose addresses live in a shifted address space.
+
+        Multi-programmed homogeneous mixes run *identical copies* of a
+        trace on every core; offsetting the address space per core
+        reproduces ChampSim's behaviour where each core has a private
+        address space and copies do not alias in the shared LLC.
+        """
+        base = self
+
+        def shifted() -> Iterator[MemoryAccess]:
+            for rec in base:
+                yield MemoryAccess(rec.pc, rec.address + offset, rec.is_write, rec.gap)
+
+        return Trace(
+            name=f"{self.name}@+{offset:#x}",
+            factory=shifted,
+            metadata=dict(self.metadata),
+        )
+
+    def truncated(self, max_records: int) -> "Trace":
+        """Return a copy that yields at most ``max_records`` accesses."""
+        base = self
+
+        def limited() -> Iterator[MemoryAccess]:
+            for i, rec in enumerate(base):
+                if i >= max_records:
+                    return
+                yield rec
+
+        return Trace(
+            name=self.name,
+            factory=limited,
+            metadata=dict(self.metadata),
+        )
+
+
+def from_tuples(
+    name: str, tuples: Iterable[tuple], default_gap: int = 0
+) -> Trace:
+    """Build a materialized trace from (pc, address[, is_write[, gap]]) tuples."""
+    records: List[MemoryAccess] = []
+    for t in tuples:
+        pc, address = t[0], t[1]
+        is_write = bool(t[2]) if len(t) > 2 else False
+        gap = int(t[3]) if len(t) > 3 else default_gap
+        records.append(MemoryAccess(pc, address, is_write, gap))
+    return Trace(name=name, records=records)

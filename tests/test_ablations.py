@@ -1,0 +1,73 @@
+"""Tests for the beyond-the-paper ablation experiments."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ABLATIONS,
+    BypassFirstChromePolicy,
+    NoBypassChromePolicy,
+    abl_sampling,
+    extended_baselines,
+)
+from repro.experiments.figures import EXPERIMENTS, run_experiment
+from repro.experiments.runner import ExperimentScale, Runner
+from repro.core.config import ACTION_BYPASS
+from repro.sim.access import DEMAND, AccessInfo
+from repro.sim.cache import Cache
+
+TINY = ExperimentScale(
+    machine_scale=1 / 64,
+    accesses_per_core=300,
+    warmup_per_core=60,
+    workload_limit=2,
+    hetero_mixes=2,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(TINY)
+
+
+def _info(block):
+    return AccessInfo(pc=0x400, address=block << 6, block_addr=block, core=0, type=DEMAND)
+
+
+def test_no_bypass_variant_never_bypasses():
+    policy = NoBypassChromePolicy()
+    cache = Cache("llc", 64 * 2 * 4, 2, latency=1.0, policy=policy)
+    for i in range(64):
+        assert cache.decide_bypass(_info(i)) is False
+    assert policy.bypass_decisions == 0
+
+
+def test_bypass_first_variant_prefers_bypass_cold():
+    policy = BypassFirstChromePolicy()
+    assert policy._miss_actions[0] == ACTION_BYPASS
+    cache = Cache("llc", 64 * 2 * 4, 2, latency=1.0, policy=policy)
+    bypasses = sum(cache.decide_bypass(_info(i)) for i in range(32))
+    assert bypasses > 16  # cold states choose bypass
+
+
+def test_ablation_registry_reachable_via_run_experiment(runner):
+    result = run_experiment("abl_tiebreak", runner)
+    assert result.experiment_id == "abl_tiebreak"
+    assert len(result.rows) == 2
+
+
+def test_abl_sampling_sweeps_densities(runner):
+    result = abl_sampling(runner)
+    densities = result.column("sampled_sets")
+    assert densities == sorted(densities)
+    assert 64 in densities
+
+
+def test_extended_baselines_structure(runner):
+    result = extended_baselines(runner)
+    assert set(result.column("scheme")) == {"random", "srrip", "drrip", "ship++", "chrome"}
+
+
+def test_all_ablations_registered():
+    run_experiment("abl_bypass", Runner(TINY))  # triggers registration
+    for name in ABLATIONS:
+        assert name in EXPERIMENTS

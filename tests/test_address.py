@@ -1,0 +1,82 @@
+"""Unit tests for address arithmetic helpers."""
+
+import pytest
+
+from repro.sim.address import (
+    BLOCK_SIZE,
+    PAGE_SIZE,
+    block_address,
+    block_offset,
+    fold_hash,
+    is_power_of_two,
+    mix_hash,
+    page_number,
+    page_offset,
+    set_index,
+    tag_of,
+)
+
+
+def test_block_address_strips_offset():
+    assert block_address(0) == 0
+    assert block_address(63) == 0
+    assert block_address(64) == 1
+    assert block_address(0x1234) == 0x1234 >> 6
+
+
+def test_block_offset_range():
+    for addr in (0, 1, 63, 64, 65, 1000):
+        assert 0 <= block_offset(addr) < BLOCK_SIZE
+    assert block_offset(63) == 63
+    assert block_offset(64) == 0
+
+
+def test_page_number_and_offset_recompose():
+    addr = 0xDEADBEEF
+    assert page_number(addr) * PAGE_SIZE + page_offset(addr) == addr
+
+
+def test_set_index_wraps_power_of_two():
+    assert set_index(0, 16) == 0
+    assert set_index(15, 16) == 15
+    assert set_index(16, 16) == 0
+    assert set_index(17, 16) == 1
+
+
+def test_tag_and_set_recompose_block_address():
+    num_sets = 64
+    for block in (0, 1, 63, 64, 12345, 999999):
+        s = set_index(block, num_sets)
+        t = tag_of(block, num_sets)
+        assert t * num_sets + s == block
+
+
+def test_mix_hash_deterministic_and_64bit():
+    assert mix_hash(12345) == mix_hash(12345)
+    assert 0 <= mix_hash(12345) < (1 << 64)
+    assert mix_hash(1) != mix_hash(2)
+
+
+def test_mix_hash_avalanche():
+    # Flipping one input bit should change many output bits.
+    a, b = mix_hash(0x1000), mix_hash(0x1001)
+    assert bin(a ^ b).count("1") > 16
+
+
+def test_fold_hash_respects_bit_width():
+    for bits in (1, 4, 9, 16, 17):
+        for value in (0, 1, 0xFFFF, 123456789):
+            assert 0 <= fold_hash(value, bits) < (1 << bits)
+
+
+def test_fold_hash_distributes():
+    buckets = {fold_hash(i, 4) for i in range(256)}
+    assert len(buckets) == 16  # all 16 buckets hit over 256 inputs
+
+
+def test_is_power_of_two():
+    assert is_power_of_two(1)
+    assert is_power_of_two(64)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(48)
+    assert not is_power_of_two(-4)

@@ -1,0 +1,131 @@
+"""Unit tests for the trace-characterization utilities."""
+
+import pytest
+
+from repro.traces.analysis import TraceProfile, compare_profiles, profile_trace
+from repro.traces.trace import MemoryAccess
+
+
+def _trace(blocks, gap=4, writes=()):
+    return [
+        MemoryAccess(pc=0x400, address=b << 6, is_write=(i in writes), gap=gap)
+        for i, b in enumerate(blocks)
+    ]
+
+
+def test_empty_trace():
+    profile = profile_trace([])
+    assert profile.accesses == 0
+    assert profile.footprint_blocks == 0
+    assert profile.accesses_per_kilo_instruction == 0.0
+    assert profile.estimated_hit_ratio(64) == 0.0
+
+
+def test_footprint_counts_distinct_blocks():
+    profile = profile_trace(_trace([1, 2, 3, 1, 2, 3]))
+    assert profile.footprint_blocks == 3
+    assert profile.footprint_bytes == 3 * 64
+
+
+def test_cold_fraction():
+    profile = profile_trace(_trace([1, 2, 3, 1]))
+    assert profile.cold_fraction == pytest.approx(3 / 4)
+
+
+def test_sequential_fraction_on_stream():
+    profile = profile_trace(_trace(list(range(100))))
+    assert profile.sequential_fraction == pytest.approx(99 / 100)
+
+
+def test_sequential_fraction_on_random():
+    profile = profile_trace(_trace([5, 90, 17, 4, 62]))
+    assert profile.sequential_fraction == 0.0
+
+
+def test_write_fraction():
+    profile = profile_trace(_trace([1, 2, 3, 4], writes={0, 1}))
+    assert profile.write_fraction == 0.5
+
+
+def test_memory_intensity():
+    profile = profile_trace(_trace([1, 2, 3, 4], gap=9))
+    # 4 accesses over 40 instructions -> 100 per kilo-instruction
+    assert profile.accesses_per_kilo_instruction == pytest.approx(100.0)
+
+
+def test_reuse_distance_immediate_reuse():
+    profile = profile_trace(_trace([7, 7, 7]))
+    # distance 0 -> clamped to bucket for distance 1 (log2 bucket 0)
+    assert sum(profile.reuse_distance_histogram.values()) == 2
+    assert set(profile.reuse_distance_histogram) == {0}
+
+
+def test_reuse_distance_stack_semantics():
+    """A, B, C, A: A's reuse distance is 2 distinct blocks."""
+    profile = profile_trace(_trace([1, 2, 3, 1]))
+    (bucket, count), = profile.reuse_distance_histogram.items()
+    assert count == 1
+    assert bucket == 1  # log2(2)
+
+
+def test_reuse_distance_ignores_duplicates_between():
+    """A, B, B, B, A: only one distinct block between A's uses."""
+    profile = profile_trace(_trace([1, 2, 2, 2, 1]))
+    assert profile.reuse_distance_histogram.get(0, 0) >= 1
+
+
+def test_estimated_hit_ratio_loop():
+    # loop of 8 blocks, repeated: all reuses at distance 7
+    blocks = list(range(8)) * 10
+    profile = profile_trace(_trace(blocks))
+    assert profile.estimated_hit_ratio(64) > 0.85  # everything but cold misses
+    assert profile.estimated_hit_ratio(4) == 0.0  # loop exceeds capacity
+
+
+def test_estimated_hit_ratio_monotone_in_capacity():
+    blocks = [i % 37 for i in range(500)]
+    profile = profile_trace(_trace(blocks))
+    ratios = [profile.estimated_hit_ratio(c) for c in (2, 8, 32, 128, 512)]
+    assert ratios == sorted(ratios)
+
+
+def test_cdf_is_monotone():
+    blocks = [i % 50 for i in range(1000)] + list(range(1000, 1200))
+    profile = profile_trace(_trace(blocks))
+    cdf = profile.reuse_distance_cdf()
+    fractions = [f for _, f in cdf]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_max_records_cap():
+    profile = profile_trace(_trace(list(range(100))), max_records=10)
+    assert profile.accesses == 10
+
+
+def test_compaction_preserves_distances():
+    """Long trace with heavy tombstoning still yields exact distances."""
+    blocks = []
+    for i in range(300):
+        blocks += [i, 0]  # block 0 re-accessed with 1 distinct between
+    profile = profile_trace(_trace(blocks))
+    # block 0's reuse distance is always 1 -> bucket 0
+    assert profile.reuse_distance_histogram.get(0, 0) >= 290
+
+
+def test_compare_profiles_ranking():
+    cacheable = profile_trace(_trace([i % 8 for i in range(200)]))
+    streaming = profile_trace(_trace(list(range(200))))
+    rows = compare_profiles({"loop": cacheable, "stream": streaming}, cache_blocks=64)
+    assert rows[0][0] == "loop"
+    assert rows[0][1] > rows[1][1]
+
+
+def test_profile_works_on_spec_trace():
+    from repro.traces.spec import build_spec_trace
+
+    trace = build_spec_trace("hmmer06", 2000, seed=1, scale=1 / 64)
+    profile = profile_trace(trace)
+    assert profile.accesses == 2000
+    assert profile.footprint_blocks > 0
+    assert profile.distinct_pcs >= 2

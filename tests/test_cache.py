@@ -1,0 +1,192 @@
+"""Unit tests for the set-associative cache and its policy hooks."""
+
+import pytest
+
+from repro.sim.access import DEMAND, PREFETCH, WRITEBACK, AccessInfo
+from repro.sim.cache import Cache
+from repro.sim.replacement.base import ReplacementPolicy
+from repro.sim.replacement.lru import LRUPolicy
+
+
+def _info(block, pc=0x400, core=0, type_=DEMAND, write=False):
+    return AccessInfo(
+        pc=pc,
+        address=block << 6,
+        block_addr=block,
+        core=core,
+        type=type_,
+        is_write=write,
+    )
+
+
+def small_cache(ways=2, sets=4, **kwargs):
+    return Cache(
+        name="t",
+        size_bytes=64 * ways * sets,
+        ways=ways,
+        latency=1.0,
+        **kwargs,
+    )
+
+
+def test_rejects_non_power_of_two_sets():
+    with pytest.raises(ValueError):
+        Cache(name="bad", size_bytes=64 * 3, ways=1, latency=1.0)
+
+
+def test_miss_then_hit():
+    cache = small_cache()
+    info = _info(5)
+    hit, _ = cache.access(info)
+    assert not hit
+    cache.fill(_info(5))
+    hit, _ = cache.access(_info(5))
+    assert hit
+    assert cache.stats.demand_hits == 1
+    assert cache.stats.demand_misses == 1
+
+
+def test_probe_has_no_side_effects():
+    cache = small_cache()
+    cache.fill(_info(5))
+    before = cache.stats.demand_hits
+    assert cache.probe(5)
+    assert not cache.probe(6)
+    assert cache.stats.demand_hits == before
+
+
+def test_fill_evicts_lru_victim():
+    cache = small_cache(ways=2, sets=1)
+    cache.fill(_info(0))
+    cache.fill(_info(1))
+    cache.access(_info(0))  # 0 becomes MRU
+    victim = cache.fill(_info(2))
+    assert victim is not None
+    evicted_addr, dirty = victim
+    assert evicted_addr == 1
+    assert not dirty
+    assert cache.probe(0) and cache.probe(2) and not cache.probe(1)
+
+
+def test_dirty_eviction_reports_writeback():
+    cache = small_cache(ways=1, sets=1)
+    cache.fill(_info(0, write=True))
+    victim = cache.fill(_info(1))
+    assert victim == (0, True)
+
+
+def test_write_hit_sets_dirty():
+    cache = small_cache(ways=1, sets=1)
+    cache.fill(_info(0))
+    cache.access(_info(0, write=True))
+    victim = cache.fill(_info(1))
+    assert victim == (0, True)
+
+
+def test_duplicate_fill_is_noop_but_merges_dirtiness():
+    cache = small_cache(ways=2, sets=1)
+    cache.fill(_info(0))
+    assert cache.fill(_info(0), dirty=True) is None
+    victim1 = cache.fill(_info(1))
+    victim2 = cache.fill(_info(2))
+    dirty_evictions = [v for v in (victim1, victim2) if v and v[1]]
+    assert len(dirty_evictions) == 1
+
+
+def test_same_set_different_tag_conflict():
+    cache = small_cache(ways=1, sets=4)
+    cache.fill(_info(0))
+    cache.fill(_info(4))  # same set (4 sets), different tag
+    assert not cache.probe(0)
+    assert cache.probe(4)
+
+
+def test_prefetch_bit_cleared_on_first_demand_hit():
+    cache = small_cache(track_mgmt_stats=True)
+    cache.fill(_info(7, type_=PREFETCH))
+    hit, first = cache.access(_info(7, type_=DEMAND))
+    assert hit and first
+    hit, first = cache.access(_info(7, type_=DEMAND))
+    assert hit and not first
+    assert cache.mgmt.prefetch_fill_hits == 1
+
+
+def test_prefetch_access_does_not_clear_prefetch_bit():
+    cache = small_cache(track_mgmt_stats=True)
+    cache.fill(_info(7, type_=PREFETCH))
+    hit, first = cache.access(_info(7, type_=PREFETCH))
+    assert hit and not first
+    assert cache.mgmt.prefetch_fill_hits == 0
+
+
+def test_mgmt_stats_track_fills_and_bypasses():
+    class AlwaysBypass(ReplacementPolicy):
+        name = "always-bypass"
+
+        def should_bypass(self, info):
+            return True
+
+        def find_victim(self, info, blocks):
+            return 0
+
+    cache = small_cache(policy=AlwaysBypass(), track_mgmt_stats=True)
+    info = _info(3)
+    cache.access(info)
+    assert cache.decide_bypass(info) is True
+    assert cache.mgmt.bypasses == 1
+    # Writebacks never bypass.
+    wb = _info(9, type_=WRITEBACK, write=True)
+    assert cache.decide_bypass(wb) is False
+
+
+def test_eviction_unused_tracking():
+    cache = small_cache(ways=1, sets=1, track_mgmt_stats=True)
+    cache.fill(_info(0))
+    cache.fill(_info(1))  # evicts 0, never reused
+    assert cache.mgmt.evicted_unused == 1
+    cache.access(_info(1))  # reuse 1
+    cache.fill(_info(2))  # evicts 1, which was reused
+    assert cache.mgmt.evicted_used == 1
+
+
+def test_unused_requested_again_resolution():
+    cache = small_cache(ways=1, sets=1, track_mgmt_stats=True)
+    cache.fill(_info(0))
+    cache.fill(_info(1))  # evict 0 unused
+    cache.access(_info(0))  # 0 requested again
+    assert cache.mgmt.unused_requested_again == 1
+
+
+def test_invalidate():
+    cache = small_cache()
+    cache.fill(_info(5))
+    assert cache.invalidate(5)
+    assert not cache.probe(5)
+    assert not cache.invalidate(5)
+
+
+def test_occupancy_counts_valid_blocks():
+    cache = small_cache(ways=2, sets=4)
+    assert cache.occupancy() == 0
+    for i in range(5):
+        cache.fill(_info(i))
+    assert cache.occupancy() == 5
+
+
+def test_policy_victim_out_of_range_raises():
+    class Broken(ReplacementPolicy):
+        name = "broken"
+
+        def find_victim(self, info, blocks):
+            return 99
+
+    cache = small_cache(ways=1, sets=1, policy=Broken())
+    cache.fill(_info(0))
+    with pytest.raises(RuntimeError):
+        cache.fill(_info(1))
+
+
+def test_lru_policy_storage_overhead_positive():
+    policy = LRUPolicy()
+    cache = small_cache(ways=4, sets=8, policy=policy)
+    assert policy.storage_overhead_bits() > 0

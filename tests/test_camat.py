@@ -1,0 +1,96 @@
+"""Unit tests for the C-AMAT monitor and LLC-obstruction detection."""
+
+from repro.sim.camat import CAMATMonitor, CoreCAMATState
+
+
+def test_non_overlapping_intervals_sum():
+    state = CoreCAMATState()
+    state.record(0.0, 10.0)
+    state.record(20.0, 10.0)
+    assert state.total_active_cycles == 20.0
+    assert state.total_accesses == 2
+    assert state.total_camat == 10.0
+
+
+def test_fully_overlapping_intervals_count_once():
+    state = CoreCAMATState()
+    state.record(0.0, 100.0)
+    state.record(10.0, 20.0)  # entirely inside [0,100)
+    assert state.total_active_cycles == 100.0
+    # C-AMAT halves with perfect overlap: 100 cycles / 2 accesses.
+    assert state.total_camat == 50.0
+
+
+def test_partial_overlap_counts_union():
+    state = CoreCAMATState()
+    state.record(0.0, 10.0)
+    state.record(5.0, 10.0)  # overlaps [5,10), extends to 15
+    assert state.total_active_cycles == 15.0
+
+
+def test_epoch_close_sets_obstruction_flags():
+    mon = CAMATMonitor(num_cores=2, t_mem=100.0, epoch_cycles=1000.0)
+    # Core 0: serialized long accesses -> camat 200 > 100 -> obstructed.
+    mon.record_llc_access(0, 0.0, 200.0)
+    mon.record_llc_access(0, 300.0, 200.0)
+    # Core 1: short accesses -> camat 20 < 100.
+    mon.record_llc_access(1, 0.0, 20.0)
+    assert mon.maybe_close_epoch(1000.0)
+    assert mon.is_obstructed(0)
+    assert not mon.is_obstructed(1)
+
+
+def test_epoch_does_not_close_early():
+    mon = CAMATMonitor(num_cores=1, t_mem=10.0, epoch_cycles=1000.0)
+    mon.record_llc_access(0, 0.0, 50.0)
+    assert not mon.maybe_close_epoch(999.0)
+    assert not mon.is_obstructed(0)
+
+
+def test_overlapped_core_escapes_obstruction():
+    """High MLP keeps C-AMAT below T_mem even with slow accesses —
+    the concurrency insight of Sec. II-C."""
+    mon = CAMATMonitor(num_cores=1, t_mem=100.0, epoch_cycles=1000.0)
+    # Eight 200-cycle accesses all overlapping in [0, 200).
+    for _ in range(8):
+        mon.record_llc_access(0, 0.0, 200.0)
+    mon.maybe_close_epoch(1000.0)
+    # camat = 200 active cycles / 8 accesses = 25 < 100
+    assert not mon.is_obstructed(0)
+
+
+def test_epoch_listener_receives_flags():
+    seen = []
+    mon = CAMATMonitor(num_cores=2, t_mem=10.0, epoch_cycles=100.0)
+    mon.add_epoch_listener(seen.append)
+    mon.record_llc_access(0, 0.0, 50.0)
+    mon.maybe_close_epoch(100.0)
+    assert seen == [[True, False]]
+
+
+def test_epoch_counters_reset_each_epoch():
+    mon = CAMATMonitor(num_cores=1, t_mem=10.0, epoch_cycles=100.0)
+    mon.record_llc_access(0, 0.0, 50.0)
+    mon.maybe_close_epoch(100.0)
+    assert mon.is_obstructed(0)
+    # No accesses in second epoch -> camat 0 -> not obstructed.
+    mon.maybe_close_epoch(200.0)
+    assert not mon.is_obstructed(0)
+
+
+def test_multiple_epochs_skipped_at_once():
+    mon = CAMATMonitor(num_cores=1, t_mem=10.0, epoch_cycles=100.0)
+    mon.maybe_close_epoch(1050.0)
+    # The epoch boundary advances past `now`.
+    assert not mon.maybe_close_epoch(1099.0)
+    assert mon.maybe_close_epoch(1100.0)
+
+
+def test_summary_shape():
+    mon = CAMATMonitor(num_cores=2, t_mem=42.0, epoch_cycles=10.0)
+    mon.record_llc_access(0, 0.0, 5.0)
+    mon.maybe_close_epoch(10.0)
+    summary = mon.summary()
+    assert summary["t_mem"] == 42.0
+    assert len(summary["per_core_camat"]) == 2
+    assert summary["per_core_obstructed_epoch_fraction"][0] == 0.0

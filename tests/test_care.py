@@ -1,0 +1,98 @@
+"""Unit tests for the CARE policy (concurrency-aware insertion/promotion)."""
+
+from repro.sim.access import DEMAND, WRITEBACK, AccessInfo
+from repro.sim.cache import Cache
+from repro.sim.replacement.care import REUSE_THRESHOLD, CAREPolicy
+from repro.sim.replacement.srrip import RRPV_MAX
+
+
+def _info(block, pc=0x400, core=0, type_=DEMAND):
+    return AccessInfo(pc=pc, address=block << 6, block_addr=block, core=core, type=type_)
+
+
+def _cache(ways=2, sets=4, sampled=4, cores=2):
+    policy = CAREPolicy(sampled_sets=sampled, num_cores=cores)
+    cache = Cache(
+        name="llc", size_bytes=64 * ways * sets, ways=ways, latency=1.0, policy=policy
+    )
+    return cache, policy
+
+
+def test_default_insertion_near_mru_when_unobstructed():
+    cache, policy = _cache()
+    cache.fill(_info(0))
+    way = cache._tag_maps[0][0]
+    assert policy._rrpv[0][way] == 0
+
+
+def test_obstructed_core_insertion_demoted():
+    cache, policy = _cache()
+    policy.observe_epoch([True, False])
+    cache.fill(_info(0, core=0))
+    way = cache._tag_maps[0][0]
+    assert policy._rrpv[0][way] == 1
+    cache.fill(_info(1, core=1))
+    way1 = cache._tag_maps[1][0]
+    assert policy._rrpv[1][way1] == 0
+
+
+def test_non_reusable_pc_inserted_distant():
+    cache, policy = _cache()
+    sig = policy._signature(_info(0, pc=0x999))
+    policy._predictor[sig] = 0
+    cache.fill(_info(0, pc=0x999))
+    way = cache._tag_maps[0][0]
+    assert policy._rrpv[0][way] == RRPV_MAX - 1
+    policy.observe_epoch([True, True])
+    cache.fill(_info(1, pc=0x999))
+    way1 = cache._tag_maps[1][0]
+    assert policy._rrpv[1][way1] == RRPV_MAX
+
+
+def test_hit_promotion_full_vs_partial():
+    cache, policy = _cache(ways=2, sets=1)
+    cache.fill(_info(0))
+    way = cache._tag_maps[0][0]
+    policy._rrpv[0][way] = 3
+    cache.access(_info(0))
+    assert policy._rrpv[0][way] == 0  # full promotion when unobstructed
+    policy.observe_epoch([True, True])
+    policy._rrpv[0][way] = 3
+    cache.access(_info(0))
+    assert policy._rrpv[0][way] == 2  # partial promotion when obstructed
+
+
+def test_sampled_training_rewards_reuse():
+    cache, policy = _cache(ways=2, sets=4, sampled=4)
+    pc = 0x700
+    cache.fill(_info(0, pc=pc))
+    sig = policy._sig[0][cache._tag_maps[0][0]]
+    before = policy._predictor.get(sig, REUSE_THRESHOLD)
+    cache.access(_info(0, pc=pc))
+    assert policy._predictor[sig] == before + 1
+
+
+def test_dead_eviction_detrains():
+    cache, policy = _cache(ways=1, sets=1, sampled=1)
+    cache.fill(_info(0, pc=0x800))
+    sig = policy._sig[0][0]
+    cache.fill(_info(1, pc=0x900))
+    assert policy._predictor[sig] < REUSE_THRESHOLD
+
+
+def test_writeback_inserted_distant():
+    cache, policy = _cache()
+    cache.fill(_info(0, type_=WRITEBACK), dirty=True)
+    way = cache._tag_maps[0][0]
+    assert policy._rrpv[0][way] == RRPV_MAX
+
+
+def test_observe_epoch_tolerates_extra_cores():
+    _, policy = _cache(cores=2)
+    policy.observe_epoch([True, False, True, True])  # extra flags ignored
+    assert policy._obstructed == [True, False]
+
+
+def test_never_bypasses():
+    _, policy = _cache()
+    assert policy.should_bypass(_info(0)) is False

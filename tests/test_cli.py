@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for expected in ("fig1", "fig16", "tab3", "tab7"):
+        assert expected in out
+
+
+def test_run_unknown_experiment_errors(capsys):
+    assert main(["run", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown" in err
+
+
+def test_run_analytic_table(capsys):
+    assert main(["run", "tab3"]) == 0
+    out = capsys.readouterr().out
+    assert "92.7" in out  # Table III total
+
+
+def test_run_tab4(capsys):
+    assert main(["run", "tab4"]) == 0
+    out = capsys.readouterr().out
+    assert "chrome" in out and "mockingjay" in out
+
+
+def test_run_simulated_experiment_tiny(capsys):
+    code = main(
+        [
+            "run",
+            "fig15",
+            "--scale",
+            str(1 / 64),
+            "--accesses",
+            "300",
+            "--warmup",
+            "50",
+            "--workloads",
+            "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pc+pn" in out
+
+
+def test_cli_flags_override_env(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_WORKLOADS", "7")
+    from repro.cli import _build_parser, _scale_from_args
+
+    args = _build_parser().parse_args(["run", "fig6", "--workloads", "2"])
+    scale = _scale_from_args(args)
+    assert scale.workload_limit == 2

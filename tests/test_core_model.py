@@ -1,0 +1,76 @@
+"""Unit tests for the ROB-window core timing model."""
+
+from repro.sim.core_model import CoreConfig, CoreTimingModel
+
+
+def test_nonmemory_instructions_retire_at_width():
+    core = CoreTimingModel(CoreConfig(width=4))
+    core.advance(gap=39)  # 39 non-mem + 1 mem = 40 instructions
+    assert core.instructions == 40
+    assert core.issue_cycle == 10.0
+
+
+def test_l1_hits_are_hidden():
+    core = CoreTimingModel(CoreConfig(width=1, l1_hit_hidden=5.0))
+    core.advance(0)
+    core.complete_load(5.0)
+    assert core.outstanding_loads == 0
+    assert core.finish() == core.issue_cycle
+
+
+def test_long_load_extends_finish():
+    core = CoreTimingModel(CoreConfig(width=1))
+    core.advance(0)
+    core.complete_load(200.0)
+    assert core.finish() == core.issue_cycle + 200.0
+
+
+def test_independent_misses_overlap_within_rob():
+    cfg = CoreConfig(width=1, rob_size=512)
+    core = CoreTimingModel(cfg)
+    # Two misses 1 instruction apart, each 300 cycles.
+    core.advance(0)
+    core.complete_load(300.0)
+    core.advance(0)
+    core.complete_load(300.0)
+    # Finish ~= 2 + 300, NOT 600: the misses overlapped.
+    assert core.finish() < 350.0
+
+
+def test_rob_fill_serializes_misses():
+    cfg = CoreConfig(width=1, rob_size=4)
+    core = CoreTimingModel(cfg)
+    finishes = []
+    for _ in range(8):
+        core.advance(0)
+        core.complete_load(100.0)
+        finishes.append(core.finish())
+    # With a 4-entry ROB, every 4th load must wait for an older one:
+    # total time far exceeds the fully-overlapped bound.
+    assert core.finish() > 150.0
+    assert core.stall_cycles > 0
+
+
+def test_large_rob_no_stalls_for_sparse_misses():
+    core = CoreTimingModel(CoreConfig(width=1, rob_size=512))
+    for _ in range(4):
+        core.advance(100)
+        core.complete_load(50.0)
+    assert core.stall_cycles == 0.0
+
+
+def test_snapshot_returns_progress():
+    core = CoreTimingModel(CoreConfig(width=2))
+    core.advance(9)
+    instr, cycles = core.snapshot()
+    assert instr == 10
+    assert cycles == 5.0
+
+
+def test_current_cycle_monotonic():
+    core = CoreTimingModel()
+    last = core.current_cycle
+    for gap in (0, 5, 2, 7):
+        core.advance(gap)
+        assert core.current_cycle >= last
+        last = core.current_cycle

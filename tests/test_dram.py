@@ -1,0 +1,80 @@
+"""Unit tests for the banked DRAM timing model."""
+
+from repro.sim.dram import DRAMConfig, DRAMModel
+
+
+def test_default_geometry_matches_table_v():
+    cfg = DRAMConfig()
+    assert cfg.channels == 2
+    assert cfg.ranks_per_channel == 2
+    assert cfg.banks_per_rank == 8
+    assert cfg.total_banks == 32
+    # 12.5ns at 4GHz = 50 cycles
+    assert cfg.trp == cfg.trcd == cfg.tcas == 50.0
+
+
+def test_row_miss_then_row_hit_latency():
+    dram = DRAMModel()
+    cfg = dram.config
+    first = dram.access(0x1000, cycle=0.0)
+    assert first == cfg.row_miss_latency + cfg.burst
+    # Same row (consecutive block), bank now busy until `first`.
+    second = dram.access(0x1000 + 4, cycle=first)
+    assert second == cfg.row_hit_latency + cfg.burst
+
+
+def test_row_conflict_reopens_row():
+    dram = DRAMModel()
+    cfg = dram.config
+    t = dram.access(0x0, cycle=0.0)
+    # Same bank, different row: block addr differs in high bits only.
+    far = 1 << (cfg.column_blocks_bits + 10)
+    block = far * dram.config.ranks_per_channel * dram.config.banks_per_rank * 2
+    latency = dram.access(block, cycle=t)
+    assert latency >= cfg.row_miss_latency
+
+
+def test_bank_queueing_under_contention():
+    dram = DRAMModel()
+    cfg = dram.config
+    l1 = dram.access(0x40, cycle=0.0)
+    # Second request to the same bank issued immediately: must queue.
+    l2 = dram.access(0x40, cycle=0.0)
+    assert l2 > l1 - cfg.burst  # waited behind the first request
+
+
+def test_average_latency_between_hit_and_miss():
+    cfg = DRAMConfig()
+    assert cfg.row_hit_latency < cfg.average_latency - cfg.burst < cfg.row_miss_latency
+
+
+def test_read_write_counters():
+    dram = DRAMModel()
+    dram.access(0x1, 0.0)
+    dram.access(0x2, 0.0, is_write=True)
+    assert dram.reads == 1
+    assert dram.writes == 1
+
+
+def test_row_hit_rate_tracks_locality():
+    dram = DRAMModel()
+    start = 0.0
+    for i in range(32):
+        start += dram.access(i * 2, cycle=start)  # same channel, sequential
+    assert dram.row_hit_rate > 0.5
+
+
+def test_reset_restores_cold_state():
+    dram = DRAMModel()
+    dram.access(0x1000, 0.0)
+    dram.reset()
+    assert dram.reads == 0
+    cfg = dram.config
+    assert dram.access(0x1000, 0.0) == cfg.row_miss_latency + cfg.burst
+
+
+def test_distinct_channels_do_not_queue_each_other():
+    dram = DRAMModel()
+    l1 = dram.access(0, cycle=0.0)  # channel 0
+    l2 = dram.access(1, cycle=0.0)  # channel 1
+    assert l2 == l1  # identical cold latency, no cross-channel queueing

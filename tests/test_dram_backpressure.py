@@ -1,0 +1,112 @@
+"""Tests for DRAM backlog probing, FR-FCFS row batching, and
+prefetch shedding under memory-system pressure."""
+
+from repro.sim.cache import Cache
+from repro.sim.camat import CAMATMonitor
+from repro.sim.core_model import CoreConfig
+from repro.sim.dram import DRAMModel, _Bank
+from repro.sim.hierarchy import CoreHierarchy
+from repro.sim.prefetch.next_line import NextLinePrefetcher
+from repro.traces.trace import MemoryAccess
+
+
+def test_backlog_zero_when_idle():
+    dram = DRAMModel()
+    assert dram.backlog(0x1000, cycle=0.0) == 0.0
+
+
+def test_backlog_positive_after_burst():
+    dram = DRAMModel()
+    for _ in range(10):
+        dram.access(0x40, cycle=0.0)  # same bank, immediate re-requests
+    assert dram.backlog(0x40, cycle=0.0) > 0.0
+
+
+def test_backlog_drains_with_time():
+    dram = DRAMModel()
+    for _ in range(5):
+        dram.access(0x40, cycle=0.0)
+    early = dram.backlog(0x40, cycle=0.0)
+    late = dram.backlog(0x40, cycle=early + 1000.0)
+    assert late == 0.0
+
+
+def test_fr_fcfs_recent_rows_window():
+    bank = _Bank()
+    for row in range(10):
+        bank.open_row_for(row)
+    assert len(bank.recent_rows) <= 4
+    assert bank.row_is_open(9)
+    assert not bank.row_is_open(0)
+
+
+def test_fr_fcfs_interleaved_streams_keep_row_hits():
+    """Two interleaved sequential streams on the same bank should both
+    enjoy row hits thanks to the FR-FCFS batching window."""
+    dram = DRAMModel()
+    cycle = 0.0
+    # find two block addresses in the same bank but different rows
+    a_base = 0
+    bank_count = dram.config.ranks_per_channel * dram.config.banks_per_rank
+    stride_rows = dram.config.channels * bank_count << dram.config.column_blocks_bits
+    b_base = stride_rows  # same bank, next row
+    for i in range(0, 40, 2):
+        cycle += dram.access(a_base + i, cycle)
+        cycle += dram.access(b_base + i, cycle)
+    assert dram.row_hit_rate > 0.6
+
+
+def _hierarchy(l1_pf=None):
+    l1 = Cache("l1", 64 * 2 * 4, 2, latency=2.0, mshr_entries=8)
+    l2 = Cache("l2", 64 * 4 * 8, 4, latency=6.0, mshr_entries=16)
+    llc = Cache("llc", 64 * 4 * 16, 4, latency=20.0, mshr_entries=8,
+                track_mgmt_stats=True)
+    dram = DRAMModel()
+    camat = CAMATMonitor(num_cores=1, t_mem=100.0)
+    return CoreHierarchy(
+        core_id=0, l1=l1, l2=l2, llc=llc, dram=dram, camat=camat,
+        l1_prefetcher=l1_pf or NextLinePrefetcher(degree=1),
+        core_config=CoreConfig(width=1),
+    )
+
+
+def test_prefetch_shed_when_dram_backlogged():
+    core = _hierarchy()
+    # Saturate the target bank far beyond the shedding threshold.
+    for bank in core.dram._banks:
+        bank.busy_until = 1e7
+    core.execute(MemoryAccess(0x400, 0x10000))
+    assert core.prefetch_drops >= 1
+
+
+def test_prefetch_shed_when_llc_mshr_full():
+    core = _hierarchy()
+    # Staggered completions: the demand miss retires only the soonest
+    # entry, leaving the file full when the prefetch arrives.
+    for i in range(8):
+        core.llc.mshr.allocate(0x9000 + i, now=0.0, completion=1e9 + i * 1e6)
+    core.execute(MemoryAccess(0x400, 0x20000))
+    assert core.prefetch_drops >= 1
+
+
+def test_prefetch_not_shed_when_idle():
+    core = _hierarchy()
+    core.execute(MemoryAccess(0x400, 0x30000))
+    assert core.prefetch_drops == 0
+    # the next line was prefetched
+    assert core.l1.probe((0x30000 >> 6) + 1)
+
+
+def test_prefetch_to_resident_llc_block_not_shed():
+    """If the line is already in the LLC, congestion must not block the
+    (cheap) upward fill."""
+    core = _hierarchy()
+    target = 0x40000 + 64
+    core.execute(MemoryAccess(0x400, target))  # brings target into LLC
+    core.l1.invalidate(target >> 6)
+    core.l2.invalidate(target >> 6)
+    for bank in core.dram._banks:
+        bank.busy_until = 1e7
+    drops_before = core.prefetch_drops
+    core.execute(MemoryAccess(0x404, 0x40000))  # prefetches target
+    assert core.prefetch_drops == drops_before

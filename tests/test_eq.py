@@ -1,0 +1,93 @@
+"""Unit tests for the Evaluation Queue (Sec. V-D)."""
+
+import pytest
+
+from repro.core.eq import ADDR_HASH_BITS, EQEntry, EvaluationQueue, hash_block_address
+
+
+def _entry(addr_hash=0x10, action=1, hit=False, core=0):
+    return EQEntry(
+        state=(1, 2), action=action, trigger_hit=hit, hashed_addr=addr_hash, core=core
+    )
+
+
+def test_fifo_size_must_allow_sarsa_pairs():
+    with pytest.raises(ValueError):
+        EvaluationQueue(num_queues=4, fifo_size=1)
+
+
+def test_insert_below_capacity_returns_no_eviction():
+    eq = EvaluationQueue(num_queues=2, fifo_size=3)
+    evicted, head = eq.insert(0, _entry())
+    assert evicted is None and head is None
+    assert eq.occupancy(0) == 1
+
+
+def test_eviction_returns_oldest_and_new_head():
+    eq = EvaluationQueue(num_queues=1, fifo_size=2)
+    first, second, third = _entry(1), _entry(2), _entry(3)
+    eq.insert(0, first)
+    eq.insert(0, second)
+    evicted, head = eq.insert(0, third)
+    assert evicted is first
+    assert head is second  # the temporally-next action: SARSA's (S2, A2)
+    assert eq.occupancy(0) == 2
+    assert eq.evictions == 1
+
+
+def test_queues_are_independent():
+    eq = EvaluationQueue(num_queues=2, fifo_size=2)
+    eq.insert(0, _entry(1))
+    eq.insert(1, _entry(2))
+    assert eq.occupancy(0) == 1
+    assert eq.occupancy(1) == 1
+    assert eq.find(0, 2) is None
+    assert eq.find(1, 2) is not None
+
+
+def test_find_returns_newest_match():
+    eq = EvaluationQueue(num_queues=1, fifo_size=4)
+    older = _entry(0x42, action=1)
+    newer = _entry(0x42, action=3)
+    eq.insert(0, older)
+    eq.insert(0, newer)
+    assert eq.find(0, 0x42) is newer
+
+
+def test_find_missing_returns_none():
+    eq = EvaluationQueue(num_queues=1, fifo_size=4)
+    eq.insert(0, _entry(0x42))
+    assert eq.find(0, 0x99) is None
+
+
+def test_reward_assignment_flags():
+    entry = _entry()
+    assert not entry.has_reward
+    entry.reward = -5.0
+    assert entry.has_reward
+
+
+def test_zero_reward_counts_as_assigned():
+    entry = _entry()
+    entry.reward = 0.0
+    assert entry.has_reward
+
+
+def test_hash_block_address_width():
+    for block in (0, 1, 0xFFFFFFFF, 123456789):
+        assert 0 <= hash_block_address(block) < (1 << ADDR_HASH_BITS)
+
+
+def test_storage_bits_matches_table_iii():
+    eq = EvaluationQueue(num_queues=64, fifo_size=28)
+    # 64 x 28 x 58 bits = 12.7 KB
+    assert eq.storage_bits() == 64 * 28 * 58
+    assert round(eq.storage_bits() / 8 / 1024, 1) == 12.7
+
+
+def test_insert_counter():
+    eq = EvaluationQueue(num_queues=1, fifo_size=2)
+    for i in range(5):
+        eq.insert(0, _entry(i))
+    assert eq.inserts == 5
+    assert eq.evictions == 3

@@ -1,0 +1,46 @@
+"""Smoke checks for the example scripts.
+
+Examples run multi-minute simulations, so these tests only verify that
+each script compiles, has a main(), and documents itself — the examples
+are exercised for real by humans (and their core code paths are covered
+by the integration tests).
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "policy_shootout.py",
+        "graph_analytics.py",
+        "custom_policy.py",
+        "workload_atlas.py",
+    } <= names
+    assert len(EXAMPLES) >= 3  # deliverable (b): at least three examples
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    tree = ast.parse(path.read_text())
+    names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in names, f"{path.name} should define main()"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_docstring_and_run_line(path):
+    tree = ast.parse(path.read_text())
+    doc = ast.get_docstring(tree)
+    assert doc and "Run:" in doc, f"{path.name} should document how to run it"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_guards_main(path):
+    source = path.read_text()
+    assert '__name__ == "__main__"' in source

@@ -1,0 +1,128 @@
+"""Unit tests for CHROME's program-feature extraction (Table I)."""
+
+import pytest
+
+from repro.core.features import (
+    DEFAULT_FEATURES,
+    FEATURE_REGISTRY,
+    FeatureContext,
+    FeatureExtractor,
+    PC_SIG_BITS,
+    pc_signature,
+)
+
+
+def test_default_features_are_pc_and_page():
+    assert DEFAULT_FEATURES == ("pc_sig", "page")
+
+
+def test_registry_covers_table_i():
+    # control-flow, data-access, and combination features all present
+    for name in (
+        "pc_sig",
+        "pc_seq",
+        "address",
+        "delta",
+        "delta_seq",
+        "page",
+        "page_offset",
+        "pc_delta",
+        "pc_page",
+        "pc_offset",
+    ):
+        assert name in FEATURE_REGISTRY
+
+
+def test_unknown_feature_rejected():
+    with pytest.raises(KeyError):
+        FeatureExtractor(feature_names=("pc_sig", "nope"))
+
+
+def test_state_width_matches_feature_count():
+    fx = FeatureExtractor()
+    state = fx.extract(pc=0x400, address=0x1234, core=0, hit=False, is_prefetch=False)
+    assert len(state) == 2
+    assert fx.num_features == 2
+
+
+def test_pc_signature_separates_hit_miss():
+    ctx_hit = FeatureContext(pc=0x400, address=0, core=0, hit=True, is_prefetch=False)
+    ctx_miss = FeatureContext(pc=0x400, address=0, core=0, hit=False, is_prefetch=False)
+    assert pc_signature(ctx_hit) != pc_signature(ctx_miss)
+
+
+def test_pc_signature_separates_demand_prefetch():
+    ctx_d = FeatureContext(pc=0x400, address=0, core=0, hit=False, is_prefetch=False)
+    ctx_p = FeatureContext(pc=0x400, address=0, core=0, hit=False, is_prefetch=True)
+    assert pc_signature(ctx_d) != pc_signature(ctx_p)
+
+
+def test_pc_signature_separates_cores():
+    ctx0 = FeatureContext(pc=0x400, address=0, core=0, hit=False, is_prefetch=False)
+    ctx1 = FeatureContext(pc=0x400, address=0, core=1, hit=False, is_prefetch=False)
+    assert pc_signature(ctx0) != pc_signature(ctx1)
+
+
+def test_pc_signature_bit_width():
+    for pc in (0, 0x400, 0xFFFFFFFF):
+        ctx = FeatureContext(pc=pc, address=0, core=3, hit=True, is_prefetch=True)
+        assert 0 <= pc_signature(ctx) < (1 << PC_SIG_BITS)
+
+
+def test_page_feature_same_page_same_value():
+    fx = FeatureExtractor()
+    s1 = fx.extract(pc=1, address=0x5000, core=0, hit=False, is_prefetch=False)
+    s2 = fx.extract(pc=2, address=0x5FC0, core=0, hit=False, is_prefetch=False)
+    assert s1[1] == s2[1]  # same 4KB page
+    s3 = fx.extract(pc=2, address=0x6000, core=0, hit=False, is_prefetch=False)
+    assert s3[1] != s2[1]
+
+
+def test_fast_path_matches_generic_path():
+    """The memoized default-feature fast path must agree with the
+    registry functions it shortcuts."""
+    fast = FeatureExtractor(feature_names=("pc_sig", "page"))
+    cases = [
+        (0x400, 0x12345, 0, False, False),
+        (0x404, 0xABCDE, 1, True, False),
+        (0x404, 0xABCDE, 1, True, True),
+    ]
+    for pc, addr, core, hit, pf in cases:
+        state = fast.extract(pc, addr, core, hit, pf)
+        ctx = FeatureContext(pc=pc, address=addr, core=core, hit=hit, is_prefetch=pf)
+        assert state[0] == FEATURE_REGISTRY["pc_sig"](ctx)
+        assert state[1] == FEATURE_REGISTRY["page"](ctx)
+
+
+def test_memoization_is_consistent():
+    fx = FeatureExtractor()
+    a = fx.extract(0x400, 0x1000, 0, False, False)
+    b = fx.extract(0x400, 0x1000, 0, False, False)
+    assert a == b
+
+
+def test_history_features_track_deltas():
+    fx = FeatureExtractor(feature_names=("delta",))
+    fx.extract(0x1, 0x1000, 0, False, False)
+    s2 = fx.extract(0x2, 0x1040, 0, False, False)
+    fx.extract(0x3, 0x2000, 0, False, False)
+    s4 = fx.extract(0x4, 0x2040, 0, False, False)
+    # Same most-recent delta (0x40) should give the same feature value.
+    assert s2 == s4
+
+
+def test_history_is_per_core():
+    fx = FeatureExtractor(feature_names=("pc_seq",))
+    fx.extract(0x1, 0, 0, False, False)
+    fx.extract(0x2, 0, 0, False, False)
+    s_core0 = fx.extract(0x3, 0, 0, False, False)
+    fx.extract(0x1, 0, 1, False, False)
+    fx.extract(0x2, 0, 1, False, False)
+    s_core1 = fx.extract(0x3, 0, 1, False, False)
+    assert s_core0 == s_core1  # identical history per core
+
+
+def test_single_feature_state():
+    fx = FeatureExtractor(feature_names=("pc_sig",))
+    state = fx.extract(0x400, 0x1000, 0, False, False)
+    assert len(state) == 1

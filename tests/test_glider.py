@@ -1,0 +1,129 @@
+"""Unit tests for the Glider (online ISVM) policy."""
+
+from repro.sim.access import DEMAND, PREFETCH, WRITEBACK, AccessInfo
+from repro.sim.cache import Cache
+from repro.sim.replacement.glider import (
+    PCHR_LENGTH,
+    PREDICT_THRESHOLD_HIGH,
+    RRPV_MAX,
+    WEIGHT_CLAMP,
+    GliderPolicy,
+)
+
+
+def _info(block, pc=0x400, core=0, type_=DEMAND):
+    return AccessInfo(pc=pc, address=block << 6, block_addr=block, core=core, type=type_)
+
+
+def _cache(ways=2, sets=4, sampled=4):
+    policy = GliderPolicy(sampled_sets=sampled, num_cores=2)
+    cache = Cache(
+        name="llc", size_bytes=64 * ways * sets, ways=ways, latency=1.0, policy=policy
+    )
+    return cache, policy
+
+
+def test_pchr_tracks_distinct_recent_pcs():
+    cache, policy = _cache()
+    for pc in (1, 2, 3, 2, 4):
+        cache.fill(_info(pc, pc=pc * 16))
+    history = list(policy._pchr[0])
+    assert len(history) == len(set(history))
+    assert history[-1] == 4 * 16
+
+
+def test_pchr_bounded_length():
+    cache, policy = _cache()
+    for pc in range(20):
+        cache.fill(_info(pc % 4, pc=pc * 8))
+    assert len(policy._pchr[0]) <= PCHR_LENGTH
+
+
+def test_per_core_pchr_isolation():
+    cache, policy = _cache()
+    cache.fill(_info(0, pc=0x100, core=0))
+    cache.fill(_info(1, pc=0x200, core=1))
+    assert 0x100 in policy._pchr[0]
+    assert 0x100 not in policy._pchr[1]
+
+
+def test_prediction_zero_without_training():
+    _, policy = _cache()
+    table_idx, weights = policy._features(_info(0))
+    assert policy._predict(table_idx, weights) == 0
+
+
+def test_training_moves_weights():
+    _, policy = _cache()
+    policy._pchr[0].extend([1, 2, 3])
+    features = policy._features(_info(0, pc=0x77))
+    policy._train(*features, opt_hit=True)
+    assert policy._predict(*features) > 0
+    policy._train(*features, opt_hit=False)
+    policy._train(*features, opt_hit=False)
+    assert policy._predict(*features) < 0
+
+
+def test_weights_clamped():
+    _, policy = _cache()
+    policy._pchr[0].extend([1])
+    features = policy._features(_info(0, pc=0x77))
+    for _ in range(100):
+        policy._train(*features, opt_hit=True)
+    weights = policy._isvm[features[0]]
+    assert all(-WEIGHT_CLAMP <= w <= WEIGHT_CLAMP for w in weights)
+
+
+def test_training_stops_past_margin():
+    """Fixed-margin rule: confidently-correct predictions stop updating."""
+    _, policy = _cache()
+    policy._pchr[0].extend([1, 2, 3, 4, 5])
+    features = policy._features(_info(0, pc=0x77))
+    for _ in range(200):
+        policy._train(*features, opt_hit=True)
+    frozen = policy._predict(*features)
+    policy._train(*features, opt_hit=True)
+    assert policy._predict(*features) == frozen
+
+
+def test_insertion_rrpv_mapping():
+    _, policy = _cache()
+    assert policy._insertion_rrpv(PREDICT_THRESHOLD_HIGH) == 0
+    assert policy._insertion_rrpv(-1) == RRPV_MAX
+    assert policy._insertion_rrpv(3) == 2
+
+
+def test_writeback_inserts_distant():
+    cache, policy = _cache()
+    cache.fill(_info(0, type_=WRITEBACK), dirty=True)
+    way = cache._tag_maps[0][0]
+    assert policy._rrpv[0][way] == RRPV_MAX
+
+
+def test_victim_prefers_saturated_rrpv():
+    cache, policy = _cache(ways=2, sets=1)
+    cache.fill(_info(0))
+    cache.fill(_info(1))
+    policy._rrpv[0][cache._tag_maps[0][1]] = RRPV_MAX
+    cache.fill(_info(2))
+    assert cache.probe(0) and not cache.probe(1)
+
+
+def test_thrashing_workload_becomes_averse():
+    """Repeatedly missing blocks in a sampled set should teach the ISVM
+    a negative prediction for the offending PC."""
+    cache, policy = _cache(ways=1, sets=1, sampled=1)
+    pc = 0xABC
+    for i in range(64):
+        block = i % 3  # 3 blocks through 1 way: OPT can't hold them
+        info = _info(block, pc=pc)
+        hit, _ = cache.access(info)
+        if not hit and not cache.decide_bypass(info):
+            cache.fill(_info(block, pc=pc))
+    features = policy._features(_info(0, pc=pc))
+    assert policy._predict(*features) < PREDICT_THRESHOLD_HIGH
+
+
+def test_never_bypasses():
+    _, policy = _cache()
+    assert policy.should_bypass(_info(0)) is False

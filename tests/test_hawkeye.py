@@ -1,0 +1,116 @@
+"""Unit tests for the Hawkeye policy."""
+
+from repro.sim.access import DEMAND, PREFETCH, WRITEBACK, AccessInfo
+from repro.sim.cache import Cache
+from repro.sim.replacement.hawkeye import (
+    FRIENDLY_THRESHOLD,
+    RRPV_MAX,
+    HawkeyePolicy,
+)
+
+
+def _info(block, pc=0x400, type_=DEMAND):
+    return AccessInfo(pc=pc, address=block << 6, block_addr=block, core=0, type=type_)
+
+
+def _cache(ways=2, sets=4, sampled=4):
+    policy = HawkeyePolicy(sampled_sets=sampled)
+    cache = Cache(
+        name="llc", size_bytes=64 * ways * sets, ways=ways, latency=1.0, policy=policy
+    )
+    return cache, policy
+
+
+def test_attach_builds_optgen_per_sampled_set():
+    _, policy = _cache(sets=8, sampled=4)
+    assert len(policy._optgen) == 4
+
+
+def test_default_prediction_is_friendly():
+    _, policy = _cache()
+    assert policy._predict_friendly(_info(0))
+
+
+def test_friendly_fill_inserts_rrpv_zero():
+    cache, policy = _cache(ways=2, sets=4)
+    cache.fill(_info(0))
+    way = cache._tag_maps[0][0]
+    assert policy._rrpv[0][way] == 0
+
+
+def test_averse_pc_fills_at_max_rrpv():
+    cache, policy = _cache(ways=2, sets=4)
+    sig = policy._signature(0x400, False)
+    policy._predictor[sig] = 0  # force cache-averse
+    cache.fill(_info(0, pc=0x400))
+    way = cache._tag_maps[0][0]
+    assert policy._rrpv[0][way] == RRPV_MAX
+
+
+def test_victim_prefers_averse_blocks():
+    cache, policy = _cache(ways=2, sets=1)
+    cache.fill(_info(0))
+    cache.fill(_info(1))
+    policy._rrpv[0][cache._tag_maps[0][0]] = RRPV_MAX
+    cache.fill(_info(2))
+    assert not cache.probe(0)
+    assert cache.probe(1)
+
+
+def test_evicting_friendly_block_detrains_its_pc():
+    cache, policy = _cache(ways=1, sets=1, sampled=0)
+    cache.fill(_info(0, pc=0x1234))
+    sig = policy._fill_sig[0][0]
+    before = policy._predictor.get(sig, FRIENDLY_THRESHOLD)
+    cache.fill(_info(1, pc=0x9999))  # evicts the friendly block
+    assert policy._predictor[sig] == before - 1
+
+
+def test_optgen_training_flips_prediction():
+    """A PC whose blocks never fit gets classified cache-averse."""
+    cache, policy = _cache(ways=1, sets=1, sampled=1)
+    pc = 0xBEEF
+    # Thrash two blocks through a 1-way sampled set repeatedly:
+    # every re-reference is an OPT miss, detraining the PC.
+    for i in range(16):
+        block = i % 2
+        info = _info(block, pc=pc)
+        hit, _ = cache.access(info)
+        if not hit:
+            cache.fill(_info(block, pc=pc))
+    assert not policy._predict_friendly(_info(0, pc=pc))
+
+
+def test_reused_pc_stays_friendly():
+    cache, policy = _cache(ways=2, sets=1, sampled=1)
+    pc = 0xCAFE
+    for _ in range(16):
+        info = _info(0, pc=pc)
+        hit, _ = cache.access(info)
+        if not hit:
+            cache.fill(_info(0, pc=pc))
+    assert policy._predict_friendly(_info(0, pc=pc))
+
+
+def test_prefetch_and_demand_learn_independently():
+    _, policy = _cache()
+    sig_d = policy._signature(0x400, False)
+    sig_p = policy._signature(0x400, True)
+    assert sig_d != sig_p
+    policy._train(0x400, was_prefetch=True, opt_hit=False)
+    assert policy._predictor.get(sig_p, FRIENDLY_THRESHOLD) < FRIENDLY_THRESHOLD
+    assert policy._predictor.get(sig_d, FRIENDLY_THRESHOLD) == FRIENDLY_THRESHOLD
+
+
+def test_writeback_fill_is_averse_and_untracked():
+    cache, policy = _cache(ways=2, sets=4)
+    info = _info(0, type_=WRITEBACK)
+    cache.fill(info, dirty=True)
+    way = cache._tag_maps[0][0]
+    assert policy._rrpv[0][way] == RRPV_MAX
+
+
+def test_never_bypasses():
+    _, policy = _cache()
+    assert policy.should_bypass(_info(0)) is False
+    assert policy.should_bypass(_info(0, type_=PREFETCH)) is False

@@ -1,0 +1,152 @@
+"""Integration tests for the L1 -> L2 -> LLC -> DRAM walk."""
+
+import pytest
+
+from repro.sim.cache import Cache
+from repro.sim.camat import CAMATMonitor
+from repro.sim.core_model import CoreConfig
+from repro.sim.dram import DRAMModel
+from repro.sim.hierarchy import CoreHierarchy
+from repro.sim.prefetch.base import NullPrefetcher
+from repro.sim.prefetch.next_line import NextLinePrefetcher
+from repro.sim.replacement.base import ReplacementPolicy
+from repro.traces.trace import MemoryAccess
+
+
+def _build(l1_pf=None, l2_pf=None, llc_policy=None, ways=2, sets=8):
+    l1 = Cache("l1", 64 * 2 * 4, 2, latency=2.0, mshr_entries=8)
+    l2 = Cache("l2", 64 * 4 * 8, 4, latency=6.0, mshr_entries=16)
+    llc = Cache(
+        "llc",
+        64 * ways * sets,
+        ways,
+        latency=20.0,
+        mshr_entries=32,
+        policy=llc_policy,
+        track_mgmt_stats=True,
+    )
+    dram = DRAMModel()
+    camat = CAMATMonitor(num_cores=1, t_mem=100.0)
+    core = CoreHierarchy(
+        core_id=0,
+        l1=l1,
+        l2=l2,
+        llc=llc,
+        dram=dram,
+        camat=camat,
+        l1_prefetcher=l1_pf or NullPrefetcher(),
+        l2_prefetcher=l2_pf or NullPrefetcher(),
+        core_config=CoreConfig(width=1),
+    )
+    return core
+
+
+def test_cold_miss_fills_every_level():
+    core = _build()
+    latency = core.execute(MemoryAccess(0x400, 0x10000))
+    assert latency > 20.0  # went to DRAM
+    assert core.l1.probe(0x10000 >> 6)
+    assert core.l2.probe(0x10000 >> 6)
+    assert core.llc.probe(0x10000 >> 6)
+
+
+def test_l1_hit_after_fill_is_cheap():
+    core = _build()
+    core.execute(MemoryAccess(0x400, 0x10000))
+    latency = core.execute(MemoryAccess(0x400, 0x10000))
+    assert latency == core.l1.latency
+
+
+def test_l2_hit_path_latency():
+    core = _build()
+    core.execute(MemoryAccess(0x400, 0x10000))
+    # Evict from tiny L1 with conflicting fills (same L1 set).
+    for i in range(1, 4):
+        core.execute(MemoryAccess(0x400, 0x10000 + i * 64 * 4))
+    if not core.l1.probe(0x10000 >> 6):
+        latency = core.execute(MemoryAccess(0x400, 0x10000))
+        assert latency == pytest.approx(core.l1.latency + core.l2.latency)
+
+
+def test_llc_demand_stats_counted():
+    core = _build()
+    core.execute(MemoryAccess(0x400, 0x20000))
+    assert core.llc.stats.demand_misses == 1
+    assert core.llc.stats.demand_hits == 0
+
+
+def test_camat_records_only_llc_level_accesses():
+    core = _build()
+    core.execute(MemoryAccess(0x400, 0x30000))  # LLC miss -> recorded
+    core.execute(MemoryAccess(0x400, 0x30000))  # L1 hit -> not recorded
+    assert core.camat.cores[0].total_accesses == 1
+
+
+def test_dirty_eviction_propagates_to_llc():
+    core = _build()
+    base = 0x40000
+    core.execute(MemoryAccess(0x400, base, is_write=True))
+    # Force the dirty block out of L1 AND L2 with conflicting same-set fills.
+    conflicts = [base + i * 64 * 8 for i in range(1, 6)]
+    for addr in conflicts:
+        core.execute(MemoryAccess(0x400, addr))
+    wb_hits = core.llc.stats.writeback_hits + core.llc.stats.writeback_misses
+    if not core.l2.probe(base >> 6):
+        assert wb_hits >= 1
+
+
+def test_prefetch_fills_are_tagged_at_llc():
+    core = _build(l1_pf=NextLinePrefetcher(degree=1))
+    core.execute(MemoryAccess(0x400, 0x50000))
+    assert core.llc.mgmt.prefetch_fills >= 1
+    # The prefetched next line is resident above too (L1-level prefetch).
+    assert core.l1.probe((0x50000 >> 6) + 1)
+
+
+def test_prefetcher_gets_usefulness_credit():
+    pf = NextLinePrefetcher(degree=1)
+    core = _build(l1_pf=pf)
+    core.execute(MemoryAccess(0x400, 0x60000))
+    core.execute(MemoryAccess(0x404, 0x60040))  # demand hit on prefetched line
+    assert pf.stats.useful == 1
+
+
+def test_llc_bypass_policy_keeps_block_out_of_llc_only():
+    class AlwaysBypass(ReplacementPolicy):
+        name = "always-bypass"
+
+        def should_bypass(self, info):
+            return True
+
+        def find_victim(self, info, blocks):
+            return 0
+
+    core = _build(llc_policy=AlwaysBypass())
+    core.execute(MemoryAccess(0x400, 0x70000))
+    assert not core.llc.probe(0x70000 >> 6)
+    assert core.l1.probe(0x70000 >> 6)  # data still reached the core
+    assert core.l2.probe(0x70000 >> 6)
+    assert core.llc.mgmt.bypasses == 1
+
+
+def test_store_does_not_stall_commit():
+    core = _build()
+    core.execute(MemoryAccess(0x400, 0x80000, is_write=True))
+    assert core.core.outstanding_loads == 0
+
+
+def test_load_registers_outstanding_miss():
+    core = _build()
+    core.execute(MemoryAccess(0x400, 0x90000))
+    assert core.core.outstanding_loads == 1
+
+
+def test_mshr_merge_on_overlapping_miss():
+    core = _build()
+    # Two loads to the same block with tiny gap: the second is satisfied
+    # without a new DRAM read (merge or L2 hit, never a duplicate fetch).
+    core.execute(MemoryAccess(0x400, 0xA0000, False, 0))
+    dram_reads_after_first = core.dram.reads
+    core.l1.invalidate(0xA0000 >> 6)  # force L1 lookup miss while in flight
+    core.execute(MemoryAccess(0x404, 0xA0000, False, 0))
+    assert core.dram.reads == dram_reads_after_first  # merged, no new DRAM read

@@ -1,0 +1,86 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.experiments.metrics import (
+    MixMetrics,
+    geometric_mean,
+    speedup_percent,
+    summarize,
+    weighted_speedup,
+)
+from repro.sim.multicore import CoreResult, SystemResult
+from repro.sim.stats import CacheStats, LLCManagementStats
+
+
+def test_geometric_mean_basic():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_geometric_mean_empty_is_identity():
+    assert geometric_mean([]) == 1.0
+
+
+def test_geometric_mean_ignores_nonpositive():
+    assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+
+
+def test_weighted_speedup_identity():
+    assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+
+def test_weighted_speedup_mean_of_ratios():
+    # Core 0: 2x, core 1: 1x -> 1.5
+    assert weighted_speedup([2.0, 2.0], [1.0, 2.0]) == pytest.approx(1.5)
+
+
+def test_weighted_speedup_mismatched_lengths():
+    with pytest.raises(ValueError):
+        weighted_speedup([1.0], [1.0, 2.0])
+
+
+def test_weighted_speedup_skips_dead_baseline_cores():
+    assert weighted_speedup([2.0, 5.0], [1.0, 0.0]) == pytest.approx(2.0)
+
+
+def test_speedup_percent():
+    assert speedup_percent(1.092) == pytest.approx(9.2)
+    assert speedup_percent(1.0) == 0.0
+
+
+def _result(name, ipcs, miss_ratio=0.5):
+    stats = CacheStats(name="LLC")
+    stats.demand_hits = int(100 * (1 - miss_ratio))
+    stats.demand_misses = int(100 * miss_ratio)
+    mgmt = LLCManagementStats()
+    mgmt.on_fill(is_prefetch=True)
+    mgmt.on_prefetched_block_hit()
+    return SystemResult(
+        policy_name=name,
+        cores=[CoreResult(instructions=1000, cycles=1000 / i) for i in ipcs],
+        llc_stats=stats,
+        llc_mgmt=mgmt,
+        camat_summary={},
+        prefetcher_accuracy=0.5,
+        extra={"policy_telemetry": {"upksa": 805.0}},
+    )
+
+
+def test_summarize_builds_mix_metrics():
+    scheme = _result("chrome", [1.2, 1.2], miss_ratio=0.4)
+    base = _result("lru", [1.0, 1.0], miss_ratio=0.6)
+    metrics = summarize(scheme, base)
+    assert metrics.scheme == "chrome"
+    assert metrics.weighted_speedup == pytest.approx(1.2)
+    assert metrics.speedup_percent == pytest.approx(20.0)
+    assert metrics.demand_miss_ratio == pytest.approx(0.4)
+    assert metrics.ephr == 1.0
+    assert metrics.upksa == 805.0
+
+
+def test_summarize_without_telemetry():
+    scheme = _result("lru", [1.0])
+    scheme.extra = {}
+    metrics = summarize(scheme, _result("lru", [1.0]))
+    assert metrics.upksa == 0.0

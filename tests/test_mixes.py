@@ -1,0 +1,62 @@
+"""Unit tests for multi-programmed mix construction."""
+
+from repro.traces.mixes import (
+    ADDRESS_SPACE_STRIDE,
+    heterogeneous_mix,
+    homogeneous_mix,
+    random_mix_names,
+)
+from repro.traces.spec import ALL_SPEC_WORKLOADS
+
+
+def test_homogeneous_mix_one_trace_per_core():
+    mix = homogeneous_mix("hmmer06", 4, 100, scale=1 / 64)
+    assert len(mix) == 4
+
+
+def test_homogeneous_copies_are_address_disjoint():
+    mix = homogeneous_mix("hmmer06", 2, 200, scale=1 / 64)
+    blocks0 = {r.address >> 6 for r in mix[0]}
+    blocks1 = {r.address >> 6 for r in mix[1]}
+    assert not (blocks0 & blocks1)
+
+
+def test_homogeneous_copies_have_identical_relative_streams():
+    mix = homogeneous_mix("hmmer06", 2, 150, scale=1 / 64)
+    rel0 = [r.address - ADDRESS_SPACE_STRIDE for r in mix[0]]
+    rel1 = [r.address - 2 * ADDRESS_SPACE_STRIDE for r in mix[1]]
+    assert rel0 == rel1
+
+
+def test_heterogeneous_mix_runs_distinct_workloads():
+    mix = heterogeneous_mix(["hmmer06", "libquantum06"], 100, scale=1 / 64)
+    assert len(mix) == 2
+    pcs0 = {r.pc for r in mix[0]}
+    pcs1 = {r.pc for r in mix[1]}
+    assert pcs0 != pcs1
+
+
+def test_heterogeneous_cores_address_disjoint():
+    mix = heterogeneous_mix(["hmmer06", "hmmer06"], 100, scale=1 / 64)
+    blocks0 = {r.address >> 6 for r in mix[0]}
+    blocks1 = {r.address >> 6 for r in mix[1]}
+    assert not (blocks0 & blocks1)
+
+
+def test_random_mix_names_reproducible():
+    a = random_mix_names(10, 4, seed=42)
+    b = random_mix_names(10, 4, seed=42)
+    assert a == b
+    assert len(a) == 10
+    assert all(len(names) == 4 for names in a)
+
+
+def test_random_mix_names_draw_from_pool():
+    mixes = random_mix_names(20, 8)
+    for names in mixes:
+        assert all(n in ALL_SPEC_WORKLOADS for n in names)
+
+
+def test_random_mix_names_custom_pool():
+    mixes = random_mix_names(5, 2, pool=["bfs-ur"], seed=1)
+    assert all(names == ("bfs-ur", "bfs-ur") for names in mixes)

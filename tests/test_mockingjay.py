@@ -1,0 +1,144 @@
+"""Unit tests for the Mockingjay policy (reuse-distance ETR + bypass)."""
+
+from repro.sim.access import DEMAND, PREFETCH, WRITEBACK, AccessInfo
+from repro.sim.cache import Cache
+from repro.sim.replacement.mockingjay import (
+    ETR_GRANULARITY,
+    ETR_MAX,
+    INF_RD,
+    MockingjayPolicy,
+)
+
+
+def _info(block, pc=0x400, type_=DEMAND):
+    return AccessInfo(pc=pc, address=block << 6, block_addr=block, core=0, type=type_)
+
+
+def _cache(ways=2, sets=4, sampled=4, bypass=True):
+    policy = MockingjayPolicy(sampled_sets=sampled, bypass=bypass)
+    cache = Cache(
+        name="llc", size_bytes=64 * ways * sets, ways=ways, latency=1.0, policy=policy
+    )
+    return cache, policy
+
+
+def test_rdp_trains_toward_observed_distance():
+    _, policy = _cache()
+    sig = policy._signature(_info(0))
+    policy._train_rd(sig, 4)
+    first = policy._rdp[sig]
+    for _ in range(8):
+        policy._train_rd(sig, 4)
+    assert policy._rdp[sig] <= first
+    assert policy._rdp[sig] >= 4
+
+
+def test_rdp_saturates_at_inf():
+    _, policy = _cache()
+    sig = policy._signature(_info(0))
+    for _ in range(32):
+        policy._train_rd(sig, INF_RD)
+    assert policy._rdp[sig] == INF_RD
+
+
+def test_sampler_measures_reuse_distance():
+    cache, policy = _cache(ways=2, sets=4, sampled=4)
+    pc = 0x500
+    # Touch block 0, then 3 other blocks, then block 0 again: RD = 4.
+    sequence = [0, 4, 8, 12, 0]
+    for b in sequence:
+        info = _info(b, pc=pc)
+        hit, _ = cache.access(info)
+        if not hit and not cache.decide_bypass(info):
+            cache.fill(_info(b, pc=pc))
+    sig = policy._signature(_info(0, pc=pc))
+    assert sig in policy._rdp
+    assert policy._rdp[sig] < INF_RD
+
+
+def test_sampler_eviction_trains_infinite():
+    cache, policy = _cache(ways=1, sets=1, sampled=1)
+    pc = 0x600
+    # Stream > 2x ways distinct blocks: the sampler evicts stale entries,
+    # training their signature toward INF.
+    for b in range(16):
+        info = _info(b, pc=pc)
+        hit, _ = cache.access(info)
+        if not hit and not cache.decide_bypass(info):
+            cache.fill(_info(b, pc=pc))
+    sig = policy._signature(_info(0, pc=pc))
+    assert policy._rdp[sig] > INF_RD // 2
+
+
+def test_bypass_when_predicted_never_reused():
+    _, policy = _cache(sampled=0)
+    sig = policy._signature(_info(0))
+    policy._rdp[sig] = INF_RD
+    info = _info(0)
+    info.set_index = 0
+    assert policy.should_bypass(info) is True
+
+
+def test_no_bypass_for_near_reuse():
+    _, policy = _cache(sampled=0)
+    sig = policy._signature(_info(0))
+    policy._rdp[sig] = 1
+    info = _info(0)
+    info.set_index = 0
+    # victim score is ETR_MAX (cold set), incoming ETR ~1: cache it.
+    assert policy.should_bypass(info) is False
+
+
+def test_bypass_disabled_variant():
+    _, policy = _cache(sampled=0, bypass=False)
+    sig = policy._signature(_info(0))
+    policy._rdp[sig] = INF_RD
+    info = _info(0)
+    info.set_index = 0
+    assert policy.should_bypass(info) is False
+
+
+def test_writebacks_never_bypass_and_get_max_etr():
+    cache, policy = _cache()
+    wb = _info(0, type_=WRITEBACK)
+    assert cache.decide_bypass(wb) is False
+    cache.fill(wb, dirty=True)
+    way = cache._tag_maps[0][0]
+    assert policy._etr[0][way] == ETR_MAX
+
+
+def test_victim_has_largest_abs_etr():
+    cache, policy = _cache(ways=3, sets=1)
+    for b in range(3):
+        cache.fill(_info(b))
+    policy._etr[0] = [2, -9, 5]
+    info = _info(3)
+    info.set_index = 0
+    assert policy.find_victim(info, cache.blocks_in_set(0)) == 1
+
+
+def test_aging_decrements_etr():
+    cache, policy = _cache(ways=2, sets=1, sampled=0)
+    cache.fill(_info(0))
+    before = policy._etr[0][cache._tag_maps[0][0]]
+    cache.access(_info(2))  # miss in same set ages via on_fill below
+    cache.fill(_info(2))
+    after = policy._etr[0][cache._tag_maps[0][0]]
+    assert after <= before
+
+
+def test_hit_resets_etr_to_prediction():
+    cache, policy = _cache(ways=2, sets=4, sampled=0)
+    cache.fill(_info(0))
+    sig = policy._signature(_info(0))
+    policy._rdp[sig] = 8 * ETR_GRANULARITY
+    cache.access(_info(0))
+    way = cache._tag_maps[0][0]
+    assert policy._etr[0][way] == 8
+
+
+def test_prefetch_signature_distinct():
+    _, policy = _cache()
+    assert policy._signature(_info(0, type_=DEMAND)) != policy._signature(
+        _info(0, type_=PREFETCH)
+    )

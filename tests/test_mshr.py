@@ -1,0 +1,72 @@
+"""Unit tests for the MSHR file: merging and occupancy back-pressure."""
+
+import pytest
+
+from repro.sim.mshr import MSHRFile
+
+
+def test_requires_positive_capacity():
+    with pytest.raises(ValueError):
+        MSHRFile(0)
+
+
+def test_allocate_returns_completion():
+    mshr = MSHRFile(4)
+    assert mshr.allocate(0x10, now=0.0, completion=100.0) == 100.0
+    assert mshr.occupancy == 1
+
+
+def test_second_miss_to_same_block_merges():
+    mshr = MSHRFile(4)
+    first = mshr.allocate(0x10, now=0.0, completion=100.0)
+    merged = mshr.allocate(0x10, now=10.0, completion=200.0)
+    assert merged == first
+    assert mshr.merges == 1
+    assert mshr.occupancy == 1
+
+
+def test_lookup_finds_inflight_miss():
+    mshr = MSHRFile(4)
+    mshr.allocate(0x10, now=0.0, completion=100.0)
+    assert mshr.lookup(0x10, now=50.0) == 100.0
+    assert mshr.lookup(0x99, now=50.0) is None
+
+
+def test_entries_expire_after_completion():
+    mshr = MSHRFile(4)
+    mshr.allocate(0x10, now=0.0, completion=100.0)
+    assert mshr.lookup(0x10, now=100.0) is None
+    assert mshr.occupancy == 0
+
+
+def test_full_mshr_delays_new_miss():
+    mshr = MSHRFile(2)
+    mshr.allocate(0x1, now=0.0, completion=50.0)
+    mshr.allocate(0x2, now=0.0, completion=80.0)
+    # Third miss at t=10 must wait for the t=50 retirement.
+    completion = mshr.allocate(0x3, now=10.0, completion=110.0)
+    assert completion == 110.0 + (50.0 - 10.0)
+    assert mshr.stalls == 1
+
+
+def test_full_mshr_no_delay_if_oldest_already_done():
+    mshr = MSHRFile(1)
+    mshr.allocate(0x1, now=0.0, completion=5.0)
+    completion = mshr.allocate(0x2, now=10.0, completion=40.0)
+    assert completion == 40.0
+    assert mshr.stalls == 0
+
+
+def test_reset_clears_state():
+    mshr = MSHRFile(2)
+    mshr.allocate(0x1, now=0.0, completion=50.0)
+    mshr.reset()
+    assert mshr.occupancy == 0
+    assert mshr.lookup(0x1, now=0.0) is None
+
+
+def test_occupancy_tracks_distinct_blocks():
+    mshr = MSHRFile(8)
+    for i in range(5):
+        mshr.allocate(i, now=0.0, completion=100.0 + i)
+    assert mshr.occupancy == 5

@@ -1,0 +1,142 @@
+"""Integration tests for the multi-core system and run loop."""
+
+import pytest
+
+from repro.sim.multicore import (
+    PREFETCH_CONFIGS,
+    MultiCoreSystem,
+    SystemConfig,
+)
+from repro.sim.replacement.lru import LRUPolicy
+from repro.core.chrome import ChromePolicy
+from repro.traces.mixes import heterogeneous_mix, homogeneous_mix
+from repro.traces.trace import MemoryAccess, Trace
+
+SCALE = 1 / 64
+
+
+def _config(cores=2):
+    return SystemConfig(num_cores=cores, scale=SCALE)
+
+
+def test_effective_sizes_power_of_two_sets():
+    cfg = _config()
+    for size, ways in (
+        (cfg.l1_effective_size, cfg.l1_ways),
+        (cfg.l2_effective_size, cfg.l2_ways),
+        (cfg.llc_effective_size, cfg.llc_ways),
+    ):
+        sets = size // (64 * ways)
+        assert sets > 0 and (sets & (sets - 1)) == 0
+
+
+def test_llc_scales_with_core_count():
+    small = SystemConfig(num_cores=2, scale=SCALE).llc_effective_size
+    big = SystemConfig(num_cores=8, scale=SCALE).llc_effective_size
+    assert big > small
+
+
+def test_unknown_prefetch_config_rejected():
+    with pytest.raises(KeyError):
+        MultiCoreSystem(_config(), prefetch_config="magic")
+
+
+def test_all_prefetch_configs_instantiate():
+    for name in PREFETCH_CONFIGS:
+        MultiCoreSystem(_config(), prefetch_config=name)
+
+
+def test_run_requires_matching_trace_count():
+    system = MultiCoreSystem(_config(cores=2))
+    traces = homogeneous_mix("hmmer06", 4, 100, scale=SCALE)
+    with pytest.raises(ValueError):
+        system.run(traces)
+
+
+def test_run_produces_per_core_results():
+    system = MultiCoreSystem(_config(cores=2))
+    traces = homogeneous_mix("hmmer06", 2, 500, scale=SCALE)
+    result = system.run(traces)
+    assert len(result.cores) == 2
+    for core in result.cores:
+        assert core.instructions > 0
+        assert core.ipc > 0
+
+
+def test_homogeneous_cores_progress_similarly():
+    system = MultiCoreSystem(_config(cores=2))
+    traces = homogeneous_mix("hmmer06", 2, 800, scale=SCALE)
+    result = system.run(traces)
+    ipcs = result.ipcs
+    assert ipcs[0] == pytest.approx(ipcs[1], rel=0.25)
+
+
+def test_warmup_resets_measured_stats():
+    system = MultiCoreSystem(_config(cores=1))
+    traces = homogeneous_mix("libquantum06", 1, 1000, scale=SCALE)
+    result = system.run(traces, warmup_accesses=500)
+    cold = MultiCoreSystem(_config(cores=1)).run(
+        homogeneous_mix("libquantum06", 1, 1000, scale=SCALE)
+    )
+    # Warm run counts only the measured region: fewer demand accesses.
+    assert result.llc_stats.demand_accesses <= cold.llc_stats.demand_accesses
+
+
+def test_max_accesses_cap():
+    system = MultiCoreSystem(_config(cores=1))
+    traces = homogeneous_mix("libquantum06", 1, 5000, scale=SCALE)
+    result = system.run(traces, max_accesses_per_core=300)
+    full = MultiCoreSystem(_config(cores=1)).run(
+        homogeneous_mix("libquantum06", 1, 5000, scale=SCALE)
+    )
+    assert result.cores[0].instructions < full.cores[0].instructions
+
+
+def test_policy_telemetry_exposed_for_chrome():
+    system = MultiCoreSystem(_config(cores=1), llc_policy=ChromePolicy())
+    traces = homogeneous_mix("hmmer06", 1, 600, scale=SCALE)
+    result = system.run(traces)
+    assert "policy_telemetry" in result.extra
+    assert result.extra["policy_telemetry"]["decisions"] > 0
+
+
+def test_care_receives_epoch_feedback():
+    from repro.sim.replacement.care import CAREPolicy
+
+    policy = CAREPolicy(num_cores=2)
+    config = SystemConfig(num_cores=2, scale=SCALE, epoch_cycles=1000.0)
+    system = MultiCoreSystem(config, llc_policy=policy)
+    traces = homogeneous_mix("mcf06", 2, 1500, scale=SCALE)
+    system.run(traces)
+    assert any(s.epochs > 0 for s in system.camat.cores)
+
+
+def test_shorter_trace_core_finishes_early():
+    system = MultiCoreSystem(_config(cores=2))
+    short = homogeneous_mix("hmmer06", 1, 100, scale=SCALE)[0]
+    long = homogeneous_mix("libquantum06", 1, 1000, scale=SCALE)[0]
+    result = system.run([short, long])
+    assert result.cores[0].instructions < result.cores[1].instructions
+
+
+def test_heterogeneous_mix_runs():
+    system = MultiCoreSystem(_config(cores=2))
+    traces = heterogeneous_mix(["mcf06", "libquantum06"], 500, scale=SCALE)
+    result = system.run(traces)
+    assert all(c.ipc > 0 for c in result.cores)
+
+
+def test_ephr_stays_a_ratio_across_warmup_boundary():
+    """Blocks prefetched during warmup may hit in the measured region;
+    EPHR must still be hits-per-inserted-prefetch (<= 1)."""
+    system = MultiCoreSystem(_config(cores=2), llc_policy=ChromePolicy())
+    traces = homogeneous_mix("libquantum06", 2, 1200, scale=SCALE)
+    result = system.run(traces, warmup_accesses=600)
+    assert 0.0 <= result.llc_mgmt.ephr <= 1.0
+
+
+def test_empty_trace_ok():
+    system = MultiCoreSystem(_config(cores=1))
+    empty = Trace(name="empty", records=[])
+    result = system.run([empty])
+    assert result.cores[0].instructions == 0

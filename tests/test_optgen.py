@@ -1,0 +1,103 @@
+"""Unit tests for the OPTgen oracle and sampled-set selection."""
+
+from repro.sim.replacement.optgen import OPTgen, choose_sampled_sets
+
+
+def _hits(verdicts):
+    return [v for v in verdicts if v[0]]
+
+
+def test_cold_access_returns_no_verdicts():
+    gen = OPTgen(cache_ways=2)
+    assert gen.access(0x1, pc=1, is_prefetch=False) == []
+
+
+def test_rereference_within_capacity_is_opt_hit():
+    gen = OPTgen(cache_ways=2)
+    gen.access(0xA, pc=1, is_prefetch=False)
+    verdicts = gen.access(0xA, pc=2, is_prefetch=False)
+    assert len(verdicts) == 1
+    opt_hit, train_pc, was_prefetch, addr = verdicts[0]
+    assert opt_hit
+    assert train_pc == 1  # trains the PC of the *previous* access
+    assert not was_prefetch
+    assert addr == 0xA
+
+
+def test_capacity_pressure_produces_opt_miss():
+    """With 1 way, interleaving a second block forces an OPT miss."""
+    gen = OPTgen(cache_ways=1)
+    gen.access(0xA, pc=1, is_prefetch=False)
+    gen.access(0xB, pc=2, is_prefetch=False)
+    assert gen.access(0xB, pc=3, is_prefetch=False)[0][0]
+    verdict = gen.access(0xA, pc=4, is_prefetch=False)[0]
+    assert not verdict[0]  # interval [t_A, now) includes B's occupied quantum
+
+
+def test_two_way_set_holds_two_live_blocks():
+    gen = OPTgen(cache_ways=2)
+    gen.access(0xA, pc=1, is_prefetch=False)
+    gen.access(0xB, pc=2, is_prefetch=False)
+    assert gen.access(0xA, pc=3, is_prefetch=False)[0][0]
+    assert gen.access(0xB, pc=4, is_prefetch=False)[0][0]
+    assert gen.opt_hit_rate == 1.0
+
+
+def test_timeout_emits_miss_verdict():
+    """A single-use block ages out of the window and trains as an OPT
+    miss — the path that detrains streaming PCs."""
+    gen = OPTgen(cache_ways=1, history_quanta=4)
+    gen.access(0xA, pc=77, is_prefetch=False)
+    timeout_verdicts = []
+    for i in range(6):
+        for v in gen.access(0x100 + i, pc=2, is_prefetch=False):
+            if v[3] == 0xA:
+                timeout_verdicts.append(v)
+    assert len(timeout_verdicts) == 1
+    opt_hit, pc, was_prefetch, addr = timeout_verdicts[0]
+    assert not opt_hit and pc == 77 and addr == 0xA
+
+
+def test_out_of_window_reuse_counts_one_miss():
+    gen = OPTgen(cache_ways=1, history_quanta=4)
+    gen.access(0xA, pc=1, is_prefetch=False)
+    for i in range(5):
+        gen.access(0x100 + i, pc=2, is_prefetch=False)
+    misses_before = gen.opt_misses
+    gen.access(0xA, pc=3, is_prefetch=False)
+    # The timeout already trained 0xA; the re-access is cold, so no
+    # second verdict for it.
+    assert all(v[3] != 0xA for v in gen.access(0x200, pc=4, is_prefetch=False))
+    assert gen.opt_misses >= misses_before
+
+
+def test_tracker_memory_bounded_by_window():
+    gen = OPTgen(cache_ways=4, history_quanta=16)
+    for i in range(1000):
+        gen.access(i, pc=1, is_prefetch=False)
+    assert gen.tracked <= 17
+
+
+def test_prefetch_flag_propagates():
+    gen = OPTgen(cache_ways=2)
+    gen.access(0xA, pc=1, is_prefetch=True)
+    verdict = gen.access(0xA, pc=2, is_prefetch=False)[0]
+    assert verdict[2] is True  # previous access was a prefetch
+
+
+def test_choose_sampled_sets_count_and_range():
+    sets = choose_sampled_sets(2048, target=64)
+    assert len(sets) == 64
+    assert all(0 <= s < 2048 for s in sets)
+
+
+def test_choose_sampled_sets_small_cache_takes_all():
+    assert choose_sampled_sets(16, target=64) == set(range(16))
+
+
+def test_choose_sampled_sets_zero_target():
+    assert choose_sampled_sets(64, target=0) == set()
+
+
+def test_choose_sampled_sets_deterministic():
+    assert choose_sampled_sets(1024) == choose_sampled_sets(1024)

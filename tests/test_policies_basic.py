@@ -1,0 +1,171 @@
+"""Unit tests for LRU, Random, SRRIP/BRRIP/DRRIP, SHiP++ and the registry."""
+
+import pytest
+
+from repro.sim.access import DEMAND, PREFETCH, WRITEBACK, AccessInfo
+from repro.sim.cache import Cache
+from repro.sim.replacement import PAPER_SCHEMES, POLICY_REGISTRY, make_policy
+from repro.sim.replacement.lru import LRUPolicy
+from repro.sim.replacement.random_policy import RandomPolicy
+from repro.sim.replacement.ship import SHiPPolicy
+from repro.sim.replacement.srrip import (
+    BRRIPPolicy,
+    DRRIPPolicy,
+    RRPV_MAX,
+    SRRIPPolicy,
+)
+
+
+def _info(block, pc=0x400, type_=DEMAND, sets=4):
+    info = AccessInfo(
+        pc=pc, address=block << 6, block_addr=block, core=0, type=type_
+    )
+    info.set_index = block % sets
+    return info
+
+
+def _cache(policy, ways=2, sets=4):
+    return Cache(
+        name="t", size_bytes=64 * ways * sets, ways=ways, latency=1.0, policy=policy
+    )
+
+
+def test_registry_builds_every_policy():
+    for name in POLICY_REGISTRY:
+        policy = make_policy(name)
+        assert policy.name == name
+
+
+def test_registry_unknown_name_raises():
+    with pytest.raises(KeyError):
+        make_policy("opt")
+
+
+def test_paper_schemes_in_registry():
+    for name in PAPER_SCHEMES:
+        assert name in POLICY_REGISTRY
+
+
+def test_fresh_instances_from_factory():
+    a, b = make_policy("chrome"), make_policy("chrome")
+    assert a is not b
+
+
+def test_lru_evicts_least_recent():
+    cache = _cache(LRUPolicy(), ways=2, sets=1)
+    cache.fill(_info(0, sets=1))
+    cache.fill(_info(1, sets=1))
+    cache.access(_info(0, sets=1))
+    cache.fill(_info(2, sets=1))
+    assert cache.probe(0) and not cache.probe(1)
+
+
+def test_random_policy_deterministic_with_seed():
+    a, b = RandomPolicy(seed=3), RandomPolicy(seed=3)
+    for p in (a, b):
+        p.attach(1, 8)
+    blocks = [object()] * 8
+    picks_a = [a.find_victim(_info(0), blocks) for _ in range(10)]
+    picks_b = [b.find_victim(_info(0), blocks) for _ in range(10)]
+    assert picks_a == picks_b
+    assert all(0 <= w < 8 for w in picks_a)
+
+
+def test_srrip_promotes_on_hit():
+    policy = SRRIPPolicy()
+    cache = _cache(policy, ways=2, sets=1)
+    cache.fill(_info(0, sets=1))
+    cache.fill(_info(1, sets=1))
+    cache.access(_info(0, sets=1))
+    assert policy._rrpv[0][cache._tag_maps[0][0]] == 0
+
+
+def test_srrip_victim_prefers_saturated_rrpv():
+    policy = SRRIPPolicy()
+    policy.attach(1, 4)
+    policy._rrpv[0] = [2, RRPV_MAX, 1, 0]
+    info = _info(0, sets=1)
+    info.set_index = 0
+    assert policy.find_victim(info, [None] * 4) == 1
+
+
+def test_srrip_ages_when_no_candidate():
+    policy = SRRIPPolicy()
+    policy.attach(1, 2)
+    policy._rrpv[0] = [0, 1]
+    info = _info(0, sets=1)
+    info.set_index = 0
+    victim = policy.find_victim(info, [None, None])
+    assert victim == 1  # aged to RRPV_MAX first
+    assert policy._rrpv[0][0] == 2
+
+
+def test_brrip_mostly_inserts_distant():
+    policy = BRRIPPolicy(long_probability=0.0)
+    cache = _cache(policy, ways=2, sets=1)
+    cache.fill(_info(0, sets=1))
+    way = cache._tag_maps[0][0]
+    assert policy._rrpv[0][way] == RRPV_MAX
+
+
+def test_drrip_dueling_sets_disjoint():
+    policy = DRRIPPolicy()
+    policy.attach(1024, 8)
+    assert not (policy._srrip_sets & policy._brrip_sets)
+    assert policy._srrip_sets and policy._brrip_sets
+
+
+def test_drrip_psel_moves_on_dueling_misses():
+    policy = DRRIPPolicy()
+    policy.attach(64, 2)
+    srrip_set = next(iter(policy._srrip_sets))
+    start = policy._psel
+    info = _info(0)
+    info.set_index = srrip_set
+    policy.on_fill(info, [None, None], 0)
+    assert policy._psel == start + 1
+
+
+def test_ship_trains_on_first_reuse_only():
+    policy = SHiPPolicy(sampled_sets=4)
+    cache = _cache(policy, ways=2, sets=4)
+    info = _info(0)
+    cache.fill(info)
+    sig = policy._sig[0][cache._tag_maps[0][0]]
+    cache.access(_info(0))
+    counter_after_first = policy._shct[sig]
+    cache.access(_info(0))
+    assert policy._shct[sig] == counter_after_first
+
+
+def test_ship_detrains_on_dead_eviction():
+    policy = SHiPPolicy(sampled_sets=1)
+    cache = _cache(policy, ways=1, sets=1)
+    cache.fill(_info(0, sets=1))
+    sig = policy._sig[0][0]
+    cache.fill(_info(1, sets=1))  # evict 0, never reused
+    assert policy._shct[sig] == 0
+
+
+def test_ship_prefetch_signature_differs():
+    policy = SHiPPolicy()
+    policy.attach(4, 2)
+    d = policy._signature(_info(0, type_=DEMAND))
+    p = policy._signature(_info(0, type_=PREFETCH))
+    assert d != p
+
+
+def test_ship_writeback_inserted_distant():
+    policy = SHiPPolicy()
+    cache = _cache(policy, ways=2, sets=4)
+    info = _info(0, type_=WRITEBACK)
+    cache.fill(info, dirty=True)
+    way = cache._tag_maps[0][0]
+    assert policy._rrpv[0][way] == RRPV_MAX
+
+
+def test_storage_overheads_reported():
+    for name in ("lru", "srrip", "ship++", "hawkeye", "glider", "mockingjay", "care", "chrome"):
+        policy = make_policy(name)
+        policy.attach(1024, 12)
+        assert policy.storage_overhead_bits() > 0

@@ -1,0 +1,249 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ChromeConfig, MISS_ACTIONS, NUM_ACTIONS
+from repro.core.eq import EQEntry, EvaluationQueue
+from repro.core.qtable import QTable
+from repro.experiments.metrics import geometric_mean, weighted_speedup
+from repro.sim.access import DEMAND, AccessInfo
+from repro.sim.cache import Cache
+from repro.sim.camat import CoreCAMATState
+from repro.sim.mshr import MSHRFile
+from repro.sim.replacement.lru import LRUPolicy
+from repro.sim.replacement.optgen import OPTgen
+
+# --- cache invariants -----------------------------------------------------
+
+
+def _info(block):
+    return AccessInfo(pc=0x400, address=block << 6, block_addr=block, core=0, type=DEMAND)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_cache_occupancy_never_exceeds_capacity(blocks):
+    cache = Cache("t", 64 * 2 * 8, 2, latency=1.0, policy=LRUPolicy())
+    for b in blocks:
+        info = _info(b)
+        hit, _ = cache.access(info)
+        if not hit:
+            cache.fill(_info(b))
+    assert cache.occupancy() <= 16
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_cache_tag_map_consistent_with_blocks(blocks):
+    cache = Cache("t", 64 * 2 * 4, 2, latency=1.0, policy=LRUPolicy())
+    for b in blocks:
+        cache.fill(_info(b))
+    for s in range(cache.num_sets):
+        for tag, way in cache._tag_maps[s].items():
+            block = cache.blocks_in_set(s)[way]
+            assert block.valid
+            assert block.tag == tag
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_just_filled_block_is_resident(blocks):
+    cache = Cache("t", 64 * 4 * 4, 4, latency=1.0, policy=LRUPolicy())
+    for b in blocks:
+        cache.fill(_info(b))
+        assert cache.probe(b)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=7), min_size=17, max_size=60),
+)
+@settings(max_examples=30, deadline=None)
+def test_lru_small_working_set_always_hits_after_warm(blocks):
+    """8 distinct blocks in a 16-block cache: after each block is seen
+    once, LRU never misses again."""
+    cache = Cache("t", 64 * 2 * 8, 2, latency=1.0, policy=LRUPolicy())
+    seen = set()
+    for b in blocks:
+        info = _info(b)
+        hit, _ = cache.access(info)
+        if b in seen:
+            assert hit
+        if not hit:
+            cache.fill(_info(b))
+        seen.add(b)
+
+
+# --- MSHR invariants ---------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=31),  # block
+            st.floats(min_value=0, max_value=1000),  # issue time offset
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_mshr_occupancy_bounded(requests):
+    mshr = MSHRFile(4)
+    now = 0.0
+    for block, dt in sorted(requests, key=lambda t: t[1]):
+        now = max(now, dt)
+        mshr.allocate(block, now, now + 100.0)
+        assert mshr.occupancy <= 4
+
+
+@given(st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_mshr_completion_never_before_issue(blocks):
+    mshr = MSHRFile(2)
+    now = 0.0
+    for b in blocks:
+        completion = mshr.allocate(b, now, now + 10.0)
+        assert completion >= now
+        now += 1.0
+
+
+# --- C-AMAT invariants -----------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e4),
+            st.floats(min_value=0.1, max_value=500),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_camat_union_bounds(intervals):
+    """Active cycles are at most the sum of services (no overlap) and at
+    least the longest single service (full overlap)."""
+    state = CoreCAMATState()
+    ordered = sorted(intervals)
+    for start, service in ordered:
+        state.record(start, service)
+    total_service = sum(s for _, s in intervals)
+    longest = max(s for _, s in intervals)
+    assert state.total_active_cycles <= total_service + 1e-6
+    assert state.total_active_cycles >= longest - 1e-6
+    assert state.total_accesses == len(intervals)
+
+
+# --- Q-table invariants --------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1 << 16),
+            st.integers(min_value=0, max_value=1 << 16),
+            st.integers(min_value=0, max_value=NUM_ACTIONS - 1),
+            st.floats(min_value=-100, max_value=100),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_qtable_values_always_clamped(updates):
+    config = ChromeConfig()
+    qt = QTable(2, config)
+    limit = (1 << (config.q_value_bits - 1)) / (
+        1 << config.q_fixed_point_fraction_bits
+    )
+    for f1, f2, action, delta in updates:
+        qt.apply_delta((f1, f2), action, delta)
+        values = qt.q_values((f1, f2))
+        for v in values:
+            assert -config.num_subtables * limit <= v <= config.num_subtables * limit
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 16),
+    st.integers(min_value=0, max_value=1 << 16),
+    st.floats(min_value=-20, max_value=20),
+)
+@settings(max_examples=50, deadline=None)
+def test_qtable_delta_direction(f1, f2, delta):
+    qt = QTable(2, ChromeConfig())
+    before = qt.q((f1, f2), 1)
+    qt.apply_delta((f1, f2), 1, delta)
+    after = qt.q((f1, f2), 1)
+    if delta > 0.5:
+        assert after >= before
+    elif delta < -0.5:
+        assert after <= before
+
+
+# --- EQ invariants ------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=120))
+@settings(max_examples=50, deadline=None)
+def test_eq_fifo_order_and_bound(addr_hashes):
+    eq = EvaluationQueue(num_queues=1, fifo_size=8)
+    inserted = []
+    for h in addr_hashes:
+        entry = EQEntry((1, 2), MISS_ACTIONS[0], False, h, 0)
+        evicted, _ = eq.insert(0, entry)
+        inserted.append(entry)
+        if evicted is not None:
+            # FIFO: evictions come out in insertion order.
+            assert evicted is inserted[eq.evictions - 1]
+        assert eq.occupancy(0) <= 8
+
+
+# --- OPTgen invariants --------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10), min_size=2, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_optgen_hit_rate_bounded(blocks):
+    gen = OPTgen(cache_ways=4)
+    for b in blocks:
+        gen.access(b, pc=1, is_prefetch=False)
+    assert 0.0 <= gen.opt_hit_rate <= 1.0
+
+
+@given(st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_optgen_single_block_always_hits(ways):
+    gen = OPTgen(cache_ways=ways)
+    for _ in range(20):
+        gen.access(0xAA, pc=1, is_prefetch=False)
+    assert gen.opt_hit_rate == 1.0
+
+
+# --- metric properties ---------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_geometric_mean_within_range(values):
+    gm = geometric_mean(values)
+    assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=10), min_size=1, max_size=16),
+)
+@settings(max_examples=100, deadline=None)
+def test_weighted_speedup_identity_property(ipcs):
+    assert weighted_speedup(ipcs, ipcs) == 1.0
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=10), min_size=1, max_size=16),
+    st.floats(min_value=1.1, max_value=3.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_weighted_speedup_scaling(ipcs, factor):
+    faster = [i * factor for i in ipcs]
+    assert weighted_speedup(faster, ipcs) > 1.0

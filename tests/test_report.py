@@ -1,0 +1,49 @@
+"""Unit tests for experiment-result rendering."""
+
+import pytest
+
+from repro.experiments.report import ExperimentResult, render, render_all
+
+
+def _result():
+    return ExperimentResult(
+        experiment_id="figX",
+        title="Demo",
+        columns=["name", "value"],
+        rows=[["alpha", 1.2345], ["beta", 2]],
+        notes=["a note"],
+    )
+
+
+def test_render_contains_header_rows_and_notes():
+    text = render(_result())
+    assert "figX" in text
+    assert "name" in text and "value" in text
+    assert "alpha" in text and "1.23" in text
+    assert "note: a note" in text
+
+
+def test_render_aligns_columns():
+    lines = render(_result()).splitlines()
+    header = lines[1]
+    row = lines[3]
+    assert header.index("value") <= row.index("1.23") + 2
+
+
+def test_column_accessor():
+    result = _result()
+    assert result.column("name") == ["alpha", "beta"]
+    with pytest.raises(ValueError):
+        result.column("missing")
+
+
+def test_row_by_key():
+    result = _result()
+    assert result.row_by_key("beta") == ["beta", 2]
+    with pytest.raises(KeyError):
+        result.row_by_key("gamma")
+
+
+def test_render_all_joins():
+    text = render_all([_result(), _result()])
+    assert text.count("== figX") == 2

@@ -1,0 +1,57 @@
+"""Unit tests for the reward structure (Table II, Sec. IV-C)."""
+
+from repro.core.rewards import RewardConfig
+
+
+def test_table_ii_default_values():
+    r = RewardConfig()
+    assert r.r_ac_demand == 20
+    assert r.r_ac_prefetch == 5
+    assert r.r_in_demand == -20
+    assert r.r_in_prefetch == -5
+    assert r.r_ac_nr_obstructed == 28
+    assert r.r_ac_nr_normal == 10
+    assert r.r_in_nr_obstructed == -22
+    assert r.r_in_nr_normal == -10
+
+
+def test_accurate_prefers_demand_over_prefetch():
+    """Objective 2 (Sec. IV-C): retaining demand-bound blocks must earn
+    more than retaining prefetch-bound blocks."""
+    r = RewardConfig()
+    assert r.accurate(is_prefetch=False) > r.accurate(is_prefetch=True) > 0
+
+
+def test_inaccurate_penalizes_demand_more():
+    r = RewardConfig()
+    assert r.inaccurate(is_prefetch=False) < r.inaccurate(is_prefetch=True) < 0
+
+
+def test_nr_rewards_scale_with_obstruction():
+    """Objective 4: obstruction amplifies both praise and penalty."""
+    r = RewardConfig()
+    assert r.accurate_no_rerequest(True) > r.accurate_no_rerequest(False) > 0
+    assert r.inaccurate_no_rerequest(True) < r.inaccurate_no_rerequest(False) < 0
+
+
+def test_nchrome_collapses_obstruction():
+    n = RewardConfig().without_concurrency_awareness()
+    assert n.accurate_no_rerequest(True) == n.accurate_no_rerequest(False) == 10
+    assert n.inaccurate_no_rerequest(True) == n.inaccurate_no_rerequest(False) == -10
+
+
+def test_nchrome_keeps_rerequest_rewards():
+    base = RewardConfig()
+    n = base.without_concurrency_awareness()
+    assert n.accurate(False) == base.accurate(False)
+    assert n.inaccurate(True) == base.inaccurate(True)
+
+
+def test_config_is_immutable():
+    import dataclasses
+
+    import pytest
+
+    r = RewardConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        r.r_ac_demand = 100

@@ -1,0 +1,95 @@
+"""Tests for the experiment runner (scaling, caching, comparisons)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    Runner,
+    chrome_with,
+    resolve_policy,
+)
+from repro.sim.replacement.lru import LRUPolicy
+
+FAST = ExperimentScale(
+    machine_scale=1 / 64,
+    accesses_per_core=400,
+    warmup_per_core=100,
+    workload_limit=2,
+    hetero_mixes=2,
+)
+
+
+def test_scale_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.25")
+    monkeypatch.setenv("REPRO_ACCESSES", "123")
+    monkeypatch.setenv("REPRO_WORKLOADS", "0")
+    scale = ExperimentScale.from_env()
+    assert scale.machine_scale == 0.25
+    assert scale.accesses_per_core == 123
+    assert scale.workload_limit == 0
+
+
+def test_limit_workloads_even_spread():
+    scale = ExperimentScale(workload_limit=3)
+    names = [f"w{i}" for i in range(9)]
+    limited = scale.limit_workloads(names)
+    assert len(limited) == 3
+    assert limited[0] == "w0"
+    assert len(set(limited)) == 3
+
+
+def test_limit_workloads_zero_keeps_all():
+    scale = ExperimentScale(workload_limit=0)
+    names = ["a", "b", "c"]
+    assert scale.limit_workloads(names) == names
+
+
+def test_resolve_policy_accepts_all_forms():
+    assert resolve_policy("lru").name == "lru"
+    assert resolve_policy(LRUPolicy).name == "lru"
+    instance = LRUPolicy()
+    assert resolve_policy(instance) is instance
+
+
+def test_runner_run_returns_result():
+    runner = Runner(FAST)
+    _, traces = runner.make_homogeneous("hmmer06", 2)
+    result = runner.run("lru", traces)
+    assert result.policy_name == "lru"
+    assert len(result.cores) == 2
+
+
+def test_baseline_is_cached():
+    runner = Runner(FAST)
+    key, traces = runner.make_homogeneous("hmmer06", 2)
+    first = runner.baseline(key, traces)
+    second = runner.baseline(key, traces)
+    assert first is second
+
+
+def test_compare_normalizes_to_lru():
+    runner = Runner(FAST)
+    key, traces = runner.make_homogeneous("hmmer06", 2)
+    metrics = runner.compare(["lru", "chrome"], key, traces)
+    assert metrics["lru"].weighted_speedup == pytest.approx(1.0)
+    assert "chrome" in metrics
+
+
+def test_chrome_with_overrides():
+    policy = chrome_with(eq_fifo_size=12, alpha=0.5, features=("pc_sig",))
+    assert policy.config.eq_fifo_size == 12
+    assert policy.config.alpha == 0.5
+    assert policy.config.features == ("pc_sig",)
+
+
+def test_chrome_with_defaults():
+    policy = chrome_with()
+    assert policy.config.eq_fifo_size == 28
+    assert policy.config.alpha == pytest.approx(0.0498)
+
+
+def test_heterogeneous_mix_key_distinct_per_names():
+    runner = Runner(FAST)
+    k1, _ = runner.make_heterogeneous(["hmmer06", "mcf06"])
+    k2, _ = runner.make_heterogeneous(["mcf06", "hmmer06"])
+    assert k1 != k2

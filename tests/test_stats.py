@@ -1,0 +1,85 @@
+"""Unit tests for the statistics containers and their derived metrics."""
+
+from repro.sim.stats import CacheStats, LLCManagementStats, PrefetcherStats
+
+
+def test_cache_stats_record_by_type():
+    stats = CacheStats()
+    stats.record("demand", True)
+    stats.record("demand", False)
+    stats.record("prefetch", True)
+    stats.record("writeback", False)
+    assert stats.demand_hits == 1
+    assert stats.demand_misses == 1
+    assert stats.prefetch_hits == 1
+    assert stats.writeback_misses == 1
+    assert stats.demand_accesses == 2
+    assert stats.demand_miss_ratio == 0.5
+
+
+def test_demand_miss_ratio_empty_is_zero():
+    assert CacheStats().demand_miss_ratio == 0.0
+
+
+def test_ephr_counts_prefetched_blocks_hit():
+    mgmt = LLCManagementStats()
+    for _ in range(4):
+        mgmt.on_fill(is_prefetch=True)
+    mgmt.on_fill(is_prefetch=False)
+    mgmt.on_prefetched_block_hit()
+    assert mgmt.prefetch_fills == 4
+    assert mgmt.ephr == 0.25
+
+
+def test_bypass_coverage_and_efficiency():
+    mgmt = LLCManagementStats()
+    mgmt.on_fill(is_prefetch=False)
+    mgmt.on_bypass(0x10)
+    mgmt.on_bypass(0x20)
+    assert mgmt.incoming_blocks == 3
+    assert abs(mgmt.bypass_coverage - 2 / 3) < 1e-12
+    # 0x10 is demanded later: that bypass was a mistake.
+    mgmt.on_demand_request(0x10)
+    assert mgmt.bypass_mistakes == 1
+    assert mgmt.bypass_efficiency == 0.5
+
+
+def test_bypass_efficiency_empty():
+    assert LLCManagementStats().bypass_efficiency == 0.0
+
+
+def test_unused_eviction_fractions():
+    mgmt = LLCManagementStats()
+    mgmt.on_eviction(0x1, reused=False, was_prefetch=True)
+    mgmt.on_eviction(0x2, reused=False, was_prefetch=False)
+    mgmt.on_eviction(0x3, reused=True, was_prefetch=False)
+    assert abs(mgmt.unused_eviction_fraction - 2 / 3) < 1e-12
+    assert mgmt.unused_eviction_prefetch_fraction == 0.5
+
+
+def test_unused_requested_again():
+    mgmt = LLCManagementStats()
+    mgmt.on_eviction(0x1, reused=False, was_prefetch=False)
+    mgmt.on_eviction(0x2, reused=False, was_prefetch=False)
+    mgmt.on_demand_request(0x1)
+    assert mgmt.unused_requested_again == 1
+    assert mgmt.unused_requested_again_fraction == 0.5
+    # A second request for the same block does not double-count.
+    mgmt.on_demand_request(0x1)
+    assert mgmt.unused_requested_again == 1
+
+
+def test_repeated_unused_eviction_same_block_counts_twice():
+    mgmt = LLCManagementStats()
+    mgmt.on_eviction(0x1, reused=False, was_prefetch=False)
+    mgmt.on_eviction(0x1, reused=False, was_prefetch=False)
+    mgmt.on_demand_request(0x1)
+    assert mgmt.unused_requested_again == 2
+
+
+def test_prefetcher_stats_accuracy():
+    stats = PrefetcherStats()
+    assert stats.accuracy == 0.0
+    stats.issued = 10
+    stats.useful = 3
+    assert stats.accuracy == 0.3

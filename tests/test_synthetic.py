@@ -1,0 +1,128 @@
+"""Unit tests for the primitive synthetic trace generators."""
+
+import itertools
+
+from repro.sim.address import BLOCK_SIZE
+from repro.traces.synthetic import (
+    hot_plus_scan,
+    interleave,
+    make_trace,
+    multi_stream,
+    phased,
+    pointer_chase,
+    random_region,
+    stream,
+    strided,
+    working_set_loop,
+)
+
+
+def _take(gen, n):
+    return list(itertools.islice(gen, n))
+
+
+def test_stream_is_sequential():
+    recs = _take(stream(0, 0x1000), 10)
+    addrs = [r.address for r in recs]
+    assert addrs == [0x1000 + i * BLOCK_SIZE for i in range(10)]
+
+
+def test_stream_write_every():
+    recs = _take(stream(0, 0, write_every=3), 9)
+    writes = [r.is_write for r in recs]
+    assert writes == [False, False, True] * 3
+
+
+def test_stream_deterministic_per_seed():
+    a = _take(stream(0, 0, seed=5), 20)
+    b = _take(stream(0, 0, seed=5), 20)
+    assert a == b
+
+
+def test_strided_wraps_region():
+    recs = _take(strided(0, 0, stride=BLOCK_SIZE, length_blocks=4), 8)
+    addrs = [r.address for r in recs]
+    assert addrs[:4] == addrs[4:]  # second sweep repeats the first
+
+
+def test_working_set_loop_reuses_blocks():
+    recs = _take(working_set_loop(0, 0, ws_blocks=8), 16)
+    blocks = {r.address >> 6 for r in recs}
+    assert len(blocks) == 8
+
+
+def test_pointer_chase_covers_permutation_cycle():
+    ws = 16
+    recs = _take(pointer_chase(0, 0, ws_blocks=ws, seed=1), ws * 2)
+    blocks = [r.address >> 6 for r in recs]
+    # A permutation cycle may decompose, but the walk must revisit its start.
+    assert blocks[0] in blocks[1:]
+
+
+def test_pointer_chase_deterministic():
+    a = _take(pointer_chase(0, 0, ws_blocks=32, seed=9), 50)
+    b = _take(pointer_chase(0, 0, ws_blocks=32, seed=9), 50)
+    assert a == b
+
+
+def test_random_region_hot_fraction():
+    recs = _take(
+        random_region(
+            0, 0, region_blocks=10_000, hot_blocks=10, hot_fraction=0.9, seed=2
+        ),
+        500,
+    )
+    hot = sum(1 for r in recs if (r.address >> 6) < 10)
+    assert hot > 350  # ~90% expected
+
+
+def test_hot_plus_scan_scan_blocks_are_single_use():
+    recs = _take(hot_plus_scan(0, 0, hot_blocks=4, hot_fraction=0.5, seed=3), 400)
+    scan_blocks = [r.address >> 6 for r in recs if (r.address >> 6) >= 16]
+    assert len(scan_blocks) == len(set(scan_blocks))  # never repeated
+
+
+def test_multi_stream_uses_distinct_pcs():
+    recs = _take(multi_stream(0, 0, num_streams=3, seed=4), 100)
+    pcs = {r.pc for r in recs}
+    assert len(pcs) == 3
+
+
+def test_multi_stream_write_streams():
+    recs = _take(multi_stream(0, 0, num_streams=2, write_streams=1, seed=4), 200)
+    assert any(r.is_write for r in recs)
+    assert any(not r.is_write for r in recs)
+
+
+def test_interleave_honors_weights():
+    a = stream(0, 0)
+    b = stream(1, 1 << 30)
+    recs = _take(interleave([a, b], [0.9, 0.1], seed=5), 1000)
+    from_a = sum(1 for r in recs if r.address < (1 << 30))
+    assert from_a > 800
+
+
+def test_interleave_requires_matching_weights():
+    import pytest
+
+    with pytest.raises(ValueError):
+        next(interleave([stream(0, 0)], [0.5, 0.5]))
+
+
+def test_phased_cycles_segments():
+    a = stream(0, 0)
+    b = stream(1, 1 << 30)
+    recs = _take(phased([(a, 3), (b, 2)]), 10)
+    regions = [r.address >= (1 << 30) for r in recs]
+    assert regions == [False] * 3 + [True] * 2 + [False] * 3 + [True] * 2
+
+
+def test_make_trace_finite_and_replayable():
+    trace = make_trace("t", lambda: stream(0, 0), 25)
+    assert len(list(trace)) == 25
+    assert list(trace) == list(trace)
+
+
+def test_gaps_within_configured_range():
+    recs = _take(stream(0, 0, gap=(2, 5)), 100)
+    assert all(2 <= r.gap <= 5 for r in recs)

@@ -1,0 +1,62 @@
+"""Tests for the EXPERIMENTS.md fill tool."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).parent.parent / "tools"
+
+
+@pytest.fixture()
+def fill(tmp_path, monkeypatch):
+    spec = importlib.util.spec_from_file_location(
+        "fill_experiments", TOOLS / "fill_experiments.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    results = tmp_path / "results"
+    results.mkdir()
+    template = tmp_path / "template.md"
+    target = tmp_path / "EXPERIMENTS.md"
+    monkeypatch.setattr(module, "RESULTS", results)
+    monkeypatch.setattr(module, "TEMPLATE", template)
+    monkeypatch.setattr(module, "TARGET", target)
+    return module, results, template, target
+
+
+def test_fills_available_placeholders(fill):
+    module, results, template, target = fill
+    template.write_text("before\n{{FIG6}}\nafter\n")
+    (results / "fig6.txt").write_text("TABLE CONTENT\n")
+    module.main()
+    text = target.read_text()
+    assert "TABLE CONTENT" in text
+    assert "{{FIG6}}" not in text
+
+
+def test_missing_placeholder_left_alone(fill):
+    module, results, template, target = fill
+    template.write_text("{{FIG99}}\n")
+    module.main()
+    assert "{{FIG99}}" in target.read_text()
+
+
+def test_finalize_replaces_missing_with_note(fill, monkeypatch):
+    module, results, template, target = fill
+    template.write_text("{{FIG99}}\n")
+    monkeypatch.setattr(sys, "argv", ["fill_experiments.py", "--finalize"])
+    module.main()
+    text = target.read_text()
+    assert "{{FIG99}}" not in text
+    assert "chrome-repro run fig99" in text
+
+
+def test_idempotent_from_template(fill):
+    module, results, template, target = fill
+    template.write_text("{{FIG6}}\n")
+    module.main()
+    (results / "fig6.txt").write_text("NOW PRESENT\n")
+    module.main()  # refill from template, not from the previous output
+    assert "NOW PRESENT" in target.read_text()

@@ -1,0 +1,77 @@
+"""Unit tests for trace containers and iteration semantics."""
+
+import pytest
+
+from repro.traces.trace import MemoryAccess, Trace, from_tuples
+
+
+def _records(n=5):
+    return [MemoryAccess(pc=0x400000 + i, address=i * 64, gap=i) for i in range(n)]
+
+
+def test_memory_access_fields():
+    rec = MemoryAccess(pc=1, address=2, is_write=True, gap=3)
+    assert (rec.pc, rec.address, rec.is_write, rec.gap) == (1, 2, True, 3)
+
+
+def test_memory_access_is_immutable():
+    rec = MemoryAccess(pc=1, address=2)
+    with pytest.raises(AttributeError):
+        rec.pc = 5
+
+
+def test_trace_requires_exactly_one_source():
+    with pytest.raises(ValueError):
+        Trace(name="bad")
+    with pytest.raises(ValueError):
+        Trace(name="bad", records=[], factory=lambda: iter([]))
+
+
+def test_materialized_trace_iterates_and_lens():
+    trace = Trace(name="t", records=_records())
+    assert len(trace) == 5
+    assert [r.gap for r in trace] == [0, 1, 2, 3, 4]
+
+
+def test_factory_trace_replays_from_start():
+    trace = Trace(name="t", factory=lambda: iter(_records(3)))
+    first = list(trace)
+    second = list(trace)
+    assert first == second
+    assert len(first) == 3
+
+
+def test_factory_trace_len_raises():
+    trace = Trace(name="t", factory=lambda: iter(_records(3)))
+    with pytest.raises(TypeError):
+        len(trace)
+
+
+def test_materialize_converts_factory():
+    trace = Trace(name="t", factory=lambda: iter(_records(4)))
+    solid = trace.materialize()
+    assert len(solid) == 4
+    assert solid.materialize() is solid  # already materialized: identity
+
+
+def test_with_address_offset_shifts_only_addresses():
+    trace = Trace(name="t", records=_records(3))
+    shifted = trace.with_address_offset(1 << 20)
+    for base, moved in zip(trace, shifted):
+        assert moved.address == base.address + (1 << 20)
+        assert moved.pc == base.pc
+        assert moved.gap == base.gap
+
+
+def test_truncated_limits_record_count():
+    trace = Trace(name="t", records=_records(10))
+    assert len(list(trace.truncated(4))) == 4
+    assert len(list(trace.truncated(100))) == 10
+
+
+def test_from_tuples_defaults():
+    trace = from_tuples("t", [(1, 64), (2, 128, True), (3, 192, False, 7)])
+    records = list(trace)
+    assert records[0] == MemoryAccess(1, 64, False, 0)
+    assert records[1].is_write is True
+    assert records[2].gap == 7

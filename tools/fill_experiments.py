@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Splice benchmarks/results/*.txt into EXPERIMENTS.md placeholders.
+
+Usage: python tools/fill_experiments.py
+Replaces each ``{{ID}}`` placeholder with the rendered table from
+``benchmarks/results/<id>.txt`` (lower-cased id), leaving placeholders
+whose results are missing untouched.  Idempotent: always starts from
+``tools/EXPERIMENTS.template.md``, so it can be re-run as the benchmark
+suite produces more results.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+TEMPLATE = ROOT / "tools" / "EXPERIMENTS.template.md"
+TARGET = ROOT / "EXPERIMENTS.md"
+
+
+def main() -> int:
+    text = TEMPLATE.read_text()
+    filled, missing = [], []
+    for placeholder in set(re.findall(r"\{\{([A-Z0-9_]+)\}\}", text)):
+        path = RESULTS / f"{placeholder.lower()}.txt"
+        if path.exists():
+            text = text.replace("{{" + placeholder + "}}", path.read_text().rstrip())
+            filled.append(placeholder)
+        else:
+            missing.append(placeholder)
+            if "--finalize" in sys.argv:
+                note = (
+                    f"(not regenerated in this run — produce with: "
+                    f"chrome-repro run {placeholder.lower()})"
+                )
+                text = text.replace("{{" + placeholder + "}}", note)
+    TARGET.write_text(text)
+    print(f"filled: {sorted(filled)}")
+    if missing:
+        print(f"still missing: {sorted(missing)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
