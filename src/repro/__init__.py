@@ -36,7 +36,20 @@ from .core import (
     make_nchrome_policy,
     overhead_comparison,
 )
-from .experiments import ExperimentScale, Runner, run_experiment
+from .experiments import (
+    Engine,
+    ExperimentPlan,
+    ExperimentScale,
+    MixSpec,
+    PolicySpec,
+    ResultCache,
+    Runner,
+    SimJob,
+    available_experiments,
+    register_experiment,
+    resolve_policy,
+    run_experiment,
+)
 from .sim import (
     CAMATMonitor,
     Cache,
@@ -65,9 +78,15 @@ __all__ = [
     "ChromeConfig",
     "ChromePolicy",
     "DRAMModel",
+    "Engine",
     "EvaluationQueue",
+    "ExperimentPlan",
     "ExperimentScale",
     "FeatureExtractor",
+    "MixSpec",
+    "PolicySpec",
+    "ResultCache",
+    "SimJob",
     "GAP_TRACES",
     "MultiCoreSystem",
     "PAPER_SCHEMES",
@@ -78,6 +97,7 @@ __all__ = [
     "SystemConfig",
     "SystemResult",
     "Trace",
+    "available_experiments",
     "build_gap_trace",
     "build_spec_trace",
     "chrome_overhead",
@@ -86,6 +106,8 @@ __all__ = [
     "make_nchrome_policy",
     "make_policy",
     "overhead_comparison",
+    "register_experiment",
+    "resolve_policy",
     "run_experiment",
     "__version__",
 ]

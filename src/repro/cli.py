@@ -3,21 +3,30 @@
 Usage::
 
     chrome-repro list
-    chrome-repro run fig6 [--scale 0.0625 --accesses 24000 ...]
-    chrome-repro run all
+    chrome-repro run fig6 [--jobs 8 --cache-dir .repro-cache]
+    chrome-repro run all [--scale 0.0625 --accesses 24000 ...]
 
 Every experiment prints the same rows/series as the corresponding paper
-table or figure (see DESIGN.md §4 for the index).
+table or figure (see DESIGN.md §4 for the index).  Simulations are
+scheduled as declarative jobs on the parallel experiment engine:
+``--jobs N`` fans independent simulations out across worker processes
+(results are bit-identical to ``--jobs 1``), and ``--cache-dir``
+memoizes completed jobs on disk so re-runs and cross-figure overlaps
+are free.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
-from .experiments.figures import EXPERIMENTS, _register_ablations, run_experiment
+from .experiments.engine import Engine
+from .experiments.figures import run_experiment
+from .experiments.progress import ProgressReporter
+from .experiments.registry import available_experiments
 from .experiments.report import render
 from .experiments.runner import ExperimentScale, Runner
 
@@ -38,47 +47,82 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--warmup", type=int, help="warmup accesses per core")
     run.add_argument("--workloads", type=int, help="workload cap per figure (0=all)")
     run.add_argument("--mixes", type=int, help="heterogeneous mixes for fig10/11")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for simulation jobs (default: all CPU cores)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk result cache; warm re-runs execute zero simulations",
+    )
+    run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-job progress/timing lines on stderr",
+    )
     return parser
 
 
 def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
-    base = ExperimentScale.from_env()
-    return ExperimentScale(
-        machine_scale=args.scale if args.scale is not None else base.machine_scale,
-        accesses_per_core=(
-            args.accesses if args.accesses is not None else base.accesses_per_core
-        ),
-        warmup_per_core=(
-            args.warmup if args.warmup is not None else base.warmup_per_core
-        ),
-        workload_limit=(
-            args.workloads if args.workloads is not None else base.workload_limit
-        ),
-        hetero_mixes=args.mixes if args.mixes is not None else base.hetero_mixes,
+    return ExperimentScale.from_env().with_overrides(
+        machine_scale=args.scale,
+        accesses_per_core=args.accesses,
+        warmup_per_core=args.warmup,
+        workload_limit=args.workloads,
+        hetero_mixes=args.mixes,
     )
 
 
 def _run_cli(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    _register_ablations()
+    experiments = available_experiments()
     if args.command == "list":
-        for experiment_id in sorted(EXPERIMENTS):
+        for experiment_id in experiments:
             print(experiment_id)
         return 0
 
-    scale = _scale_from_args(args)
-    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    if any(t not in EXPERIMENTS for t in targets):
-        unknown = [t for t in targets if t not in EXPERIMENTS]
-        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
-        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+    try:
+        scale = _scale_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    runner = Runner(scale)
+    targets = experiments if args.experiment == "all" else [args.experiment]
+    unknown = [t for t in targets if t not in experiments]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        print(f"available: {experiments}", file=sys.stderr)
+        return 2
+
+    workers = args.jobs if args.jobs is not None else os.cpu_count() or 1
+    if workers < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else ProgressReporter(sys.stderr)
+    try:
+        engine = Engine(workers=workers, cache_dir=args.cache_dir, progress=progress)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # One runner for the whole invocation: every experiment (plan-based
+    # figure or runner-based ablation) shares the engine's job pool.
+    runner = Runner(scale, engine=engine)
     for target in targets:
         start = time.time()
         result = run_experiment(target, runner)
         print(render(result))
         print(f"[{target} took {time.time() - start:.1f}s]\n")
+    stats = engine.stats
+    if not args.quiet and stats.total:
+        print(
+            f"[engine: {stats.total} jobs — {stats.executed} simulated, "
+            f"{stats.disk_hits} disk-cache hits, {stats.memo_hits} memo hits]",
+            file=sys.stderr,
+        )
     return 0
 
 

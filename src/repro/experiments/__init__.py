@@ -1,6 +1,24 @@
-"""Experiment harness: regenerate every table and figure of the paper."""
+"""Experiment harness: regenerate every table and figure of the paper.
 
+The public surface is the registry (:func:`register_experiment`,
+:func:`available_experiments`, :func:`run_experiment`) plus the
+declarative job model (:class:`SimJob`, :class:`ExperimentPlan`) and
+the parallel :class:`Engine` that schedules it.  Importing this package
+eagerly registers every paper artifact *and* the beyond-the-paper
+ablations — no private bootstrap calls.
+"""
+
+from .engine import Engine, EngineStats, ExperimentPlan
 from .figures import EXPERIMENTS, run_experiment, spec_homogeneous_suite
+from .jobspec import (
+    MixSpec,
+    PolicySpec,
+    SimJob,
+    execute_job,
+    job_fingerprint,
+    job_for,
+    register_policy_factory,
+)
 from .metrics import (
     MixMetrics,
     geometric_mean,
@@ -8,17 +26,44 @@ from .metrics import (
     summarize,
     weighted_speedup,
 )
+from .progress import NullProgress, ProgressReporter
+from .registry import (
+    available_experiments,
+    get_experiment,
+    get_plan,
+    register_experiment,
+)
 from .report import ExperimentResult, render, render_all
+from .result_cache import ResultCache
 from .runner import ExperimentScale, Runner, chrome_with, resolve_policy
+
+from . import ablations as _ablations  # noqa: F401  (eager registration)
 
 __all__ = [
     "EXPERIMENTS",
+    "Engine",
+    "EngineStats",
+    "ExperimentPlan",
     "ExperimentResult",
     "ExperimentScale",
     "MixMetrics",
+    "MixSpec",
+    "NullProgress",
+    "PolicySpec",
+    "ProgressReporter",
+    "ResultCache",
     "Runner",
+    "SimJob",
+    "available_experiments",
     "chrome_with",
+    "execute_job",
     "geometric_mean",
+    "get_experiment",
+    "get_plan",
+    "job_fingerprint",
+    "job_for",
+    "register_experiment",
+    "register_policy_factory",
     "render",
     "render_all",
     "resolve_policy",

@@ -37,6 +37,7 @@ from .metrics import geometric_mean, speedup_percent, weighted_speedup
 from .report import ExperimentResult
 from .runner import Runner, scaled_sampled_sets
 from .figures import _suite_workloads
+from .registry import register_experiment
 
 
 class NoBypassChromePolicy(ChromePolicy):
@@ -90,7 +91,7 @@ def _suite_geomean(
 
 
 def abl_bypass(runner: Runner) -> ExperimentResult:
-    workloads = _suite_workloads(runner)
+    workloads = _suite_workloads(runner.scale)
     rows = [
         ["chrome", _suite_geomean(runner, lambda: ChromePolicy(_chrome_cfg(runner)), workloads)],
         [
@@ -110,7 +111,7 @@ def abl_bypass(runner: Runner) -> ExperimentResult:
 
 
 def abl_prefetch_rewards(runner: Runner) -> ExperimentResult:
-    workloads = _suite_workloads(runner)
+    workloads = _suite_workloads(runner.scale)
     undifferentiated = RewardConfig(
         r_ac_prefetch=RewardConfig().r_ac_demand,
         r_in_prefetch=RewardConfig().r_in_demand,
@@ -136,7 +137,7 @@ def abl_prefetch_rewards(runner: Runner) -> ExperimentResult:
 
 
 def abl_tiebreak(runner: Runner) -> ExperimentResult:
-    workloads = _suite_workloads(runner)
+    workloads = _suite_workloads(runner.scale)
     rows = [
         [
             "insert-first (repo default)",
@@ -159,7 +160,7 @@ def abl_tiebreak(runner: Runner) -> ExperimentResult:
 
 
 def abl_sampling(runner: Runner) -> ExperimentResult:
-    workloads = _suite_workloads(runner)
+    workloads = _suite_workloads(runner.scale)
     workloads = workloads[: max(3, len(workloads) // 2)]
     full = scaled_sampled_sets(runner.scale.machine_scale)
     rows = []
@@ -181,7 +182,7 @@ def abl_sampling(runner: Runner) -> ExperimentResult:
 
 
 def extended_baselines(runner: Runner) -> ExperimentResult:
-    workloads = _suite_workloads(runner)
+    workloads = _suite_workloads(runner.scale)
     rows = []
     for scheme in ("random", "srrip", "drrip", "ship++", "chrome"):
         speedups = []
@@ -206,3 +207,8 @@ ABLATIONS: Dict[str, object] = {
     "abl_sampling": abl_sampling,
     "extended_baselines": extended_baselines,
 }
+
+# Eager registration: importing repro.experiments is enough to make the
+# ablations addressable by id (no private bootstrap call needed).
+for _experiment_id, _fn in ABLATIONS.items():
+    register_experiment(_experiment_id, _fn, overwrite=False)

@@ -1,0 +1,152 @@
+"""Job-based parallel execution layer for the experiment harness.
+
+The engine takes the :class:`~repro.experiments.jobspec.SimJob` specs a
+figure declares (its :class:`ExperimentPlan`), deduplicates them against
+everything already completed this process (so e.g. the per-mix LRU
+baseline and the Fig. 6-9 shared suite run exactly once across *all*
+figures), consults the optional on-disk
+:class:`~repro.experiments.result_cache.ResultCache`, and schedules the
+remaining simulations across a ``multiprocessing`` worker pool.
+
+Determinism guarantee: results are bit-identical for ``--jobs 1`` and
+``--jobs 8``.  Each job carries its own RNG seeds inside the spec,
+workers never share mutable policy state, and assembly consumes results
+keyed by job (never by completion order).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..sim.multicore import SystemResult
+from .jobspec import SimJob, execute_job
+from .progress import NullProgress, ProgressReporter
+from .report import ExperimentResult
+from .result_cache import ResultCache
+
+AssembleFn = Callable[[Mapping[SimJob, SystemResult]], ExperimentResult]
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """A figure, declaratively: its jobs plus a pure assembly step.
+
+    ``assemble`` must be pure — it may only read the completed results
+    (and values closed over at plan-build time), never run simulations.
+    """
+
+    experiment_id: str
+    jobs: Tuple[SimJob, ...]
+    assemble: AssembleFn
+
+
+@dataclass
+class EngineStats:
+    """Where results came from, accumulated over the engine's lifetime."""
+
+    executed: int = 0
+    disk_hits: int = 0
+    memo_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.disk_hits + self.memo_hits
+
+
+def _pool_run(job: SimJob) -> Tuple[SimJob, SystemResult, float]:
+    start = time.perf_counter()
+    result = execute_job(job)
+    return job, result, time.perf_counter() - start
+
+
+def _fork_context():
+    # fork shares the already-imported interpreter (cheap startup);
+    # fall back to the platform default where fork is unavailable.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+class Engine:
+    """Schedules simulation jobs across workers, with dedup + caching."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        progress: Optional[ProgressReporter] = None,
+    ) -> None:
+        self.workers = max(1, workers if workers is not None else os.cpu_count() or 1)
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.progress = progress or NullProgress()
+        self.stats = EngineStats()
+        self._memo: Dict[SimJob, SystemResult] = {}
+
+    # --- job execution ----------------------------------------------------------
+
+    def run_jobs(
+        self, jobs: Sequence[SimJob], experiment_id: str = "jobs"
+    ) -> Dict[SimJob, SystemResult]:
+        """Complete every job (order-independent), returning job -> result."""
+        unique: List[SimJob] = list(dict.fromkeys(jobs))
+        self.progress.begin(experiment_id, len(unique))
+        start = time.perf_counter()
+        results: Dict[SimJob, SystemResult] = {}
+        pending: List[SimJob] = []
+        executed = disk_hits = memo_hits = 0
+
+        for job in unique:
+            memoized = self._memo.get(job)
+            if memoized is not None:
+                results[job] = memoized
+                memo_hits += 1
+                self.progress.job_done(job, "memo", 0.0)
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(job)
+                if cached is not None:
+                    self._memo[job] = cached
+                    results[job] = cached
+                    disk_hits += 1
+                    self.progress.job_done(job, "disk", 0.0)
+                    continue
+            pending.append(job)
+
+        if pending:
+            executed = len(pending)
+            for job, result, seconds in self._execute(pending):
+                self._memo[job] = result
+                results[job] = result
+                if self.cache is not None:
+                    self.cache.put(job, result)
+                self.progress.job_done(job, "run", seconds)
+
+        self.stats.executed += executed
+        self.stats.disk_hits += disk_hits
+        self.stats.memo_hits += memo_hits
+        self.progress.batch_summary(
+            experiment_id, executed, disk_hits, memo_hits,
+            time.perf_counter() - start,
+        )
+        return results
+
+    def _execute(self, pending: Sequence[SimJob]):
+        if self.workers <= 1 or len(pending) <= 1:
+            for job in pending:
+                yield _pool_run(job)
+            return
+        ctx = _fork_context()
+        with ctx.Pool(processes=min(self.workers, len(pending))) as pool:
+            yield from pool.imap_unordered(_pool_run, pending)
+
+    # --- plans ------------------------------------------------------------------
+
+    def run_plan(self, plan: ExperimentPlan) -> ExperimentResult:
+        """Complete a plan's jobs, then assemble its paper artifact."""
+        results = self.run_jobs(plan.jobs, experiment_id=plan.experiment_id)
+        return plan.assemble(results)

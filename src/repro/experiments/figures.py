@@ -1,10 +1,19 @@
 """Experiment implementations — one per paper table/figure.
 
-Each function takes a :class:`~repro.experiments.runner.Runner` and
-returns an :class:`~repro.experiments.report.ExperimentResult` holding
-the same rows/series the paper reports.  The registry at the bottom
-maps experiment ids (``fig1`` .. ``fig16``, ``tab3``/``tab4``/``tab7``)
-to implementations; the benchmark harness and CLI both drive it.
+Each figure is written declaratively: a ``<id>_plan(scale)`` builder
+returns an :class:`~repro.experiments.engine.ExperimentPlan` holding the
+frozen :class:`~repro.experiments.jobspec.SimJob` specs the figure needs
+plus a *pure* ``assemble(results)`` step producing the
+:class:`~repro.experiments.report.ExperimentResult` with the same
+rows/series the paper reports.  The engine schedules jobs across worker
+processes, deduplicates shared jobs between figures (Figs. 6-9 are four
+views of one suite; every figure shares the per-mix LRU baselines), and
+memoizes completed jobs on disk.
+
+The classic callable interface is preserved: ``fig6(runner)`` executes
+the plan on the runner's engine, and the registry
+(:mod:`repro.experiments.registry`) maps experiment ids
+(``fig1`` .. ``fig16``, ``tab3``/``tab4``/``tab7``) to both forms.
 
 Runs are scaled by :class:`ExperimentScale` (env-overridable); shapes,
 not absolute numbers, are the reproduction target (see DESIGN.md §5).
@@ -12,7 +21,7 @@ not absolute numbers, are the reproduction target (see DESIGN.md §5).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from ..core.overhead import (
     chrome_overhead,
@@ -20,17 +29,27 @@ from ..core.overhead import (
     overhead_comparison,
     overhead_fraction_of_llc,
 )
+from ..sim.multicore import SystemResult
 from ..sim.replacement import PAPER_SCHEMES
 from ..traces.gap import GAP_TRACES
 from ..traces.mixes import random_mix_names
 from ..traces.spec import ALL_SPEC_WORKLOADS, representative_workloads
-from .metrics import MixMetrics, geometric_mean, speedup_percent, weighted_speedup
+from .engine import ExperimentPlan
+from .jobspec import MixSpec, PolicySpec, SimJob, job_for
+from .metrics import (
+    MixMetrics,
+    geometric_mean,
+    speedup_percent,
+    summarize,
+    weighted_speedup,
+)
+from .registry import EXPERIMENTS, ExperimentFn, register_experiment
 from .report import ExperimentResult
-from .runner import Runner, chrome_with, scaled_sampled_sets
+from .runner import ExperimentScale, Runner
 
 SCHEMES: Tuple[str, ...] = tuple(PAPER_SCHEMES)
 
-ExperimentFn = Callable[[Runner], ExperimentResult]
+JobResults = Mapping[SimJob, SystemResult]
 
 
 # --- shared suite runs (Figs. 6-9 reuse one set of simulations) --------------
@@ -70,11 +89,73 @@ SUITE_PRIORITY: Tuple[str, ...] = (
 )
 
 
-def _suite_workloads(runner: Runner) -> List[str]:
-    limit = runner.scale.workload_limit
+def _suite_workloads(scale: ExperimentScale) -> List[str]:
+    limit = scale.workload_limit
     if limit and limit < len(SUITE_PRIORITY):
         return list(SUITE_PRIORITY[:limit])
     return list(ALL_SPEC_WORKLOADS)
+
+
+def _homo_job(
+    scale: ExperimentScale,
+    name: str,
+    num_cores: int,
+    policy: str | PolicySpec,
+    prefetch: str = "nl_stride",
+) -> SimJob:
+    return job_for(scale, MixSpec.homogeneous(name, num_cores), policy, prefetch)
+
+
+def _hetero_job(
+    scale: ExperimentScale,
+    names: Sequence[str],
+    seed: int,
+    policy: str | PolicySpec,
+    prefetch: str = "nl_stride",
+) -> SimJob:
+    return job_for(
+        scale, MixSpec.heterogeneous(tuple(names), seed=seed), policy, prefetch
+    )
+
+
+def _suite_jobs(
+    scale: ExperimentScale,
+    workloads: Sequence[str],
+    num_cores: int,
+    schemes: Sequence[str],
+    prefetch: str = "nl_stride",
+) -> Tuple[Dict[str, SimJob], Dict[Tuple[str, str], SimJob]]:
+    """Per-workload LRU baselines plus one job per (workload, scheme)."""
+    baselines = {
+        name: _homo_job(scale, name, num_cores, "lru", prefetch)
+        for name in workloads
+    }
+    runs = {
+        (name, scheme): _homo_job(scale, name, num_cores, scheme, prefetch)
+        for name in workloads
+        for scheme in schemes
+    }
+    return baselines, runs
+
+
+def _suite_metrics(
+    baselines: Dict[str, SimJob],
+    runs: Dict[Tuple[str, str], SimJob],
+    results: JobResults,
+) -> Dict[str, Dict[str, MixMetrics]]:
+    """Assemble the suite view: workload -> scheme -> metrics vs LRU."""
+    out: Dict[str, Dict[str, MixMetrics]] = {name: {} for name in baselines}
+    for (name, scheme), job in runs.items():
+        out[name][scheme] = summarize(results[job], results[baselines[name]])
+    return out
+
+
+def _flat(*job_groups) -> Tuple[SimJob, ...]:
+    jobs: List[SimJob] = []
+    for group in job_groups:
+        values = group.values() if isinstance(group, dict) else group
+        jobs.extend(values)
+    return tuple(dict.fromkeys(jobs))
 
 
 def spec_homogeneous_suite(
@@ -87,8 +168,12 @@ def spec_homogeneous_suite(
     """Run every scheme on homogeneous mixes of each workload.
 
     Results are cached on the runner so Figs. 6, 7, 8 and 9 share one
-    set of simulations (they are different views of the same runs)."""
-    names = list(workloads if workloads is not None else _suite_workloads(runner))
+    set of simulations (they are different views of the same runs); the
+    underlying jobs go through the runner's engine, so they are also
+    shared with plan-based figures and the on-disk result cache."""
+    names = list(
+        workloads if workloads is not None else _suite_workloads(runner.scale)
+    )
     cache_key = (num_cores, tuple(schemes), prefetch, tuple(names))
     cache = getattr(runner, "_suite_cache", None)
     if cache is None:
@@ -96,10 +181,9 @@ def spec_homogeneous_suite(
         runner._suite_cache = cache
     if cache_key in cache:
         return cache[cache_key]
-    out: Dict[str, Dict[str, MixMetrics]] = {}
-    for name in names:
-        mix_key, traces = runner.make_homogeneous(name, num_cores)
-        out[name] = runner.compare(schemes, mix_key, traces, prefetch=prefetch)
+    baselines, runs = _suite_jobs(runner.scale, names, num_cores, schemes, prefetch)
+    results = runner.engine.run_jobs(_flat(baselines, runs), experiment_id="suite")
+    out = _suite_metrics(baselines, runs, results)
     cache[cache_key] = out
     return out
 
@@ -115,534 +199,775 @@ def _geomean_speedup(
 # --- Fig. 1: 16-core homogeneous headline comparison -------------------------
 
 
+def fig1_plan(scale: ExperimentScale) -> ExperimentPlan:
+    workloads = _suite_workloads(scale)
+    workloads = workloads[: max(2, len(workloads) // 2)]  # 16-core runs are heavy
+    baselines, runs = _suite_jobs(scale, workloads, 16, SCHEMES)
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        suite = _suite_metrics(baselines, runs, results)
+        rows = [[s, _geomean_speedup(suite, s)] for s in SCHEMES]
+        return ExperimentResult(
+            experiment_id="fig1",
+            title="Speedup over LRU, 16-core homogeneous SPEC mixes (%)",
+            columns=["scheme", "speedup_pct"],
+            rows=rows,
+            notes=[
+                "paper: Hawkeye 6.8, Glider 6.2, Mockingjay 8.2, CARE 10.2, CHROME 12.9",
+                f"workloads: {', '.join(workloads)}",
+            ],
+        )
+
+    return ExperimentPlan("fig1", _flat(baselines, runs), assemble)
+
+
 def fig1(runner: Runner) -> ExperimentResult:
     """Fig. 1: 16-core homogeneous headline comparison."""
-    workloads = _suite_workloads(runner)
-    workloads = workloads[: max(2, len(workloads) // 2)]  # 16-core runs are heavy
-    suite = spec_homogeneous_suite(runner, num_cores=16, workloads=workloads)
-    rows = [[s, _geomean_speedup(suite, s)] for s in SCHEMES]
-    return ExperimentResult(
-        experiment_id="fig1",
-        title="Speedup over LRU, 16-core homogeneous SPEC mixes (%)",
-        columns=["scheme", "speedup_pct"],
-        rows=rows,
-        notes=[
-            "paper: Hawkeye 6.8, Glider 6.2, Mockingjay 8.2, CARE 10.2, CHROME 12.9",
-            f"workloads: {', '.join(workloads)}",
-        ],
-    )
+    return runner.run_plan(fig1_plan(runner.scale))
 
 
 # --- Fig. 2: unused evicted blocks under Glider ----------------------------------
 
 
+def fig2_plan(scale: ExperimentScale) -> ExperimentPlan:
+    workloads = _suite_workloads(scale)
+    jobs = {name: _homo_job(scale, name, 4, "glider") for name in workloads}
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        rows = []
+        fractions, again_fractions, prefetch_fractions = [], [], []
+        for name in workloads:
+            mgmt = results[jobs[name]].llc_mgmt
+            unused = mgmt.unused_eviction_fraction
+            again = mgmt.unused_requested_again_fraction
+            prefetch = mgmt.unused_eviction_prefetch_fraction
+            rows.append(
+                [
+                    name,
+                    100 * unused,
+                    100 * unused * again,
+                    100 * unused * (1 - again),
+                    100 * prefetch,
+                ]
+            )
+            fractions.append(unused)
+            again_fractions.append(unused * again)
+            prefetch_fractions.append(prefetch)
+        n = len(workloads)
+        rows.append(
+            [
+                "mean",
+                100 * sum(fractions) / n,
+                100 * sum(again_fractions) / n,
+                100 * (sum(fractions) - sum(again_fractions)) / n,
+                100 * sum(prefetch_fractions) / n,
+            ]
+        )
+        return ExperimentResult(
+            experiment_id="fig2",
+            title="Blocks evicted unused under Glider, 4-core (%)",
+            columns=[
+                "workload",
+                "unused_pct",
+                "requested_again_pct",
+                "never_again_pct",
+                "from_prefetch_pct",
+            ],
+            rows=rows,
+            notes=[
+                "paper means: 83.7% unused (28.0 reused later / 55.7 never), 70.0% from prefetch"
+            ],
+        )
+
+    return ExperimentPlan("fig2", _flat(jobs), assemble)
+
+
 def fig2(runner: Runner) -> ExperimentResult:
     """Fig. 2: unused-evicted-block analysis under Glider."""
-    workloads = _suite_workloads(runner)
-    rows = []
-    fractions, again_fractions, prefetch_fractions = [], [], []
-    for name in workloads:
-        mix_key, traces = runner.make_homogeneous(name, 4)
-        result = runner.run("glider", traces)
-        mgmt = result.llc_mgmt
-        unused = mgmt.unused_eviction_fraction
-        again = mgmt.unused_requested_again_fraction
-        prefetch = mgmt.unused_eviction_prefetch_fraction
-        rows.append(
-            [name, 100 * unused, 100 * unused * again, 100 * unused * (1 - again), 100 * prefetch]
-        )
-        fractions.append(unused)
-        again_fractions.append(unused * again)
-        prefetch_fractions.append(prefetch)
-    n = len(workloads)
-    rows.append(
-        [
-            "mean",
-            100 * sum(fractions) / n,
-            100 * sum(again_fractions) / n,
-            100 * (sum(fractions) - sum(again_fractions)) / n,
-            100 * sum(prefetch_fractions) / n,
-        ]
-    )
-    return ExperimentResult(
-        experiment_id="fig2",
-        title="Blocks evicted unused under Glider, 4-core (%)",
-        columns=[
-            "workload",
-            "unused_pct",
-            "requested_again_pct",
-            "never_again_pct",
-            "from_prefetch_pct",
-        ],
-        rows=rows,
-        notes=["paper means: 83.7% unused (28.0 reused later / 55.7 never), 70.0% from prefetch"],
-    )
+    return runner.run_plan(fig2_plan(runner.scale))
 
 
 # --- Fig. 3: static schemes under two prefetch configurations ---------------------
 
 
+def fig3_plan(scale: ExperimentScale) -> ExperimentPlan:
+    schemes = ("hawkeye", "glider", "mockingjay")
+    workloads = scale.limit_workloads(representative_workloads())
+    prefetchers = ("nl_stride", "stride_streamer")
+    baselines = {
+        (prefetch, name): _homo_job(scale, name, 4, "lru", prefetch)
+        for prefetch in prefetchers
+        for name in workloads
+    }
+    runs = {
+        (prefetch, name, s): _homo_job(scale, name, 4, s, prefetch)
+        for prefetch in prefetchers
+        for name in workloads
+        for s in schemes
+    }
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        rows = []
+        for prefetch in prefetchers:
+            for name in workloads:
+                base = results[baselines[(prefetch, name)]]
+                metrics = {
+                    s: summarize(results[runs[(prefetch, name, s)]], base)
+                    for s in schemes
+                }
+                rows.append(
+                    [prefetch, name] + [metrics[s].speedup_percent for s in schemes]
+                )
+        return ExperimentResult(
+            experiment_id="fig3",
+            title="Static schemes vs prefetch configuration, 4-core (%)",
+            columns=["prefetch", "workload", *schemes],
+            rows=rows,
+            notes=["paper: Mockingjay underperforms Glider across (b) stride+streamer"],
+        )
+
+    return ExperimentPlan("fig3", _flat(baselines, runs), assemble)
+
+
 def fig3(runner: Runner) -> ExperimentResult:
     """Fig. 3: static schemes under two prefetch configurations."""
-    schemes = ("hawkeye", "glider", "mockingjay")
-    workloads = representative_workloads()
-    workloads = runner.scale.limit_workloads(workloads)
-    rows = []
-    for prefetch in ("nl_stride", "stride_streamer"):
-        for name in workloads:
-            mix_key, traces = runner.make_homogeneous(name, 4)
-            metrics = runner.compare(schemes, mix_key, traces, prefetch=prefetch)
-            rows.append(
-                [prefetch, name]
-                + [metrics[s].speedup_percent for s in schemes]
-            )
-    return ExperimentResult(
-        experiment_id="fig3",
-        title="Static schemes vs prefetch configuration, 4-core (%)",
-        columns=["prefetch", "workload", *schemes],
-        rows=rows,
-        notes=["paper: Mockingjay underperforms Glider across (b) stride+streamer"],
-    )
+    return runner.run_plan(fig3_plan(runner.scale))
 
 
 # --- Figs. 6-9: the 4-core SPEC homogeneous suite --------------------------------
+#
+# The four figures declare the *same* jobs — the engine's memo/dedup
+# runs each simulation once no matter how many of them execute.
+
+
+def _suite4_jobs(scale: ExperimentScale):
+    return _suite_jobs(scale, _suite_workloads(scale), 4, SCHEMES)
+
+
+def fig6_plan(scale: ExperimentScale) -> ExperimentPlan:
+    baselines, runs = _suite4_jobs(scale)
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        suite = _suite_metrics(baselines, runs, results)
+        rows = [
+            [name] + [suite[name][s].speedup_percent for s in SCHEMES]
+            for name in suite
+        ]
+        rows.append(["geomean"] + [_geomean_speedup(suite, s) for s in SCHEMES])
+        return ExperimentResult(
+            experiment_id="fig6",
+            title="Speedup over LRU, 4-core SPEC homogeneous mixes (%)",
+            columns=["workload", *SCHEMES],
+            rows=rows,
+            notes=[
+                "paper geomeans: Hawkeye 5.7, Glider 5.6, Mockingjay 7.6, CARE 7.6, CHROME 9.2"
+            ],
+        )
+
+    return ExperimentPlan("fig6", _flat(baselines, runs), assemble)
 
 
 def fig6(runner: Runner) -> ExperimentResult:
     """Fig. 6: per-workload 4-core homogeneous speedups."""
-    suite = spec_homogeneous_suite(runner, num_cores=4)
-    rows = [
-        [name] + [suite[name][s].speedup_percent for s in SCHEMES]
-        for name in suite
-    ]
-    rows.append(["geomean"] + [_geomean_speedup(suite, s) for s in SCHEMES])
-    return ExperimentResult(
-        experiment_id="fig6",
-        title="Speedup over LRU, 4-core SPEC homogeneous mixes (%)",
-        columns=["workload", *SCHEMES],
-        rows=rows,
-        notes=["paper geomeans: Hawkeye 5.7, Glider 5.6, Mockingjay 7.6, CARE 7.6, CHROME 9.2"],
-    )
+    return runner.run_plan(fig6_plan(runner.scale))
+
+
+def fig7_plan(scale: ExperimentScale) -> ExperimentPlan:
+    baselines, runs = _suite4_jobs(scale)
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        suite = _suite_metrics(baselines, runs, results)
+        rows = [
+            [name] + [100 * suite[name][s].demand_miss_ratio for s in SCHEMES]
+            for name in suite
+        ]
+        rows.append(
+            ["mean"]
+            + [
+                100
+                * sum(suite[n][s].demand_miss_ratio for n in suite)
+                / len(suite)
+                for s in SCHEMES
+            ]
+        )
+        return ExperimentResult(
+            experiment_id="fig7",
+            title="LLC demand miss ratio, 4-core SPEC homogeneous mixes (%)",
+            columns=["workload", *SCHEMES],
+            rows=rows,
+            notes=[
+                "paper means: Hawkeye 75.9, Glider 75.7, Mockingjay 73.6, CARE 72.4, CHROME 71.1"
+            ],
+        )
+
+    return ExperimentPlan("fig7", _flat(baselines, runs), assemble)
 
 
 def fig7(runner: Runner) -> ExperimentResult:
     """Fig. 7: LLC demand miss ratios (same runs as Fig. 6)."""
-    suite = spec_homogeneous_suite(runner, num_cores=4)
-    rows = [
-        [name] + [100 * suite[name][s].demand_miss_ratio for s in SCHEMES]
-        for name in suite
-    ]
-    rows.append(
-        ["mean"]
-        + [
-            100
-            * sum(suite[n][s].demand_miss_ratio for n in suite)
-            / len(suite)
-            for s in SCHEMES
+    return runner.run_plan(fig7_plan(runner.scale))
+
+
+def fig8_plan(scale: ExperimentScale) -> ExperimentPlan:
+    baselines, runs = _suite4_jobs(scale)
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        suite = _suite_metrics(baselines, runs, results)
+        rows = [
+            [name] + [100 * suite[name][s].ephr for s in SCHEMES] for name in suite
         ]
-    )
-    return ExperimentResult(
-        experiment_id="fig7",
-        title="LLC demand miss ratio, 4-core SPEC homogeneous mixes (%)",
-        columns=["workload", *SCHEMES],
-        rows=rows,
-        notes=["paper means: Hawkeye 75.9, Glider 75.7, Mockingjay 73.6, CARE 72.4, CHROME 71.1"],
-    )
+        rows.append(
+            ["mean"]
+            + [
+                100 * sum(suite[n][s].ephr for n in suite) / len(suite)
+                for s in SCHEMES
+            ]
+        )
+        return ExperimentResult(
+            experiment_id="fig8",
+            title="Effective prefetch hit ratio, 4-core SPEC homogeneous mixes (%)",
+            columns=["workload", *SCHEMES],
+            rows=rows,
+            notes=[
+                "paper means: Hawkeye 27.9, Glider 23.0, Mockingjay 33.2, CARE 22.9, CHROME 41.4"
+            ],
+        )
+
+    return ExperimentPlan("fig8", _flat(baselines, runs), assemble)
 
 
 def fig8(runner: Runner) -> ExperimentResult:
     """Fig. 8: effective prefetch hit ratios (same runs as Fig. 6)."""
-    suite = spec_homogeneous_suite(runner, num_cores=4)
-    rows = [
-        [name] + [100 * suite[name][s].ephr for s in SCHEMES] for name in suite
-    ]
-    rows.append(
-        ["mean"]
-        + [100 * sum(suite[n][s].ephr for n in suite) / len(suite) for s in SCHEMES]
-    )
-    return ExperimentResult(
-        experiment_id="fig8",
-        title="Effective prefetch hit ratio, 4-core SPEC homogeneous mixes (%)",
-        columns=["workload", *SCHEMES],
-        rows=rows,
-        notes=["paper means: Hawkeye 27.9, Glider 23.0, Mockingjay 33.2, CARE 22.9, CHROME 41.4"],
-    )
+    return runner.run_plan(fig8_plan(runner.scale))
+
+
+def fig9_plan(scale: ExperimentScale) -> ExperimentPlan:
+    baselines, runs = _suite4_jobs(scale)
+    schemes = ("mockingjay", "chrome")
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        suite = _suite_metrics(baselines, runs, results)
+        rows = []
+        for name in suite:
+            row: List[object] = [name]
+            for s in schemes:
+                row += [
+                    100 * suite[name][s].bypass_coverage,
+                    100 * suite[name][s].bypass_efficiency,
+                ]
+            rows.append(row)
+        mean_row: List[object] = ["mean"]
+        for s in schemes:
+            mean_row += [
+                100 * sum(suite[n][s].bypass_coverage for n in suite) / len(suite),
+                100 * sum(suite[n][s].bypass_efficiency for n in suite) / len(suite),
+            ]
+        rows.append(mean_row)
+        return ExperimentResult(
+            experiment_id="fig9",
+            title="Bypass coverage and efficiency, 4-core SPEC homogeneous mixes (%)",
+            columns=[
+                "workload",
+                "mockingjay_coverage",
+                "mockingjay_efficiency",
+                "chrome_coverage",
+                "chrome_efficiency",
+            ],
+            rows=rows,
+            notes=["paper means (CHROME): 41.5% coverage, 70.8% efficiency"],
+        )
+
+    return ExperimentPlan("fig9", _flat(baselines, runs), assemble)
 
 
 def fig9(runner: Runner) -> ExperimentResult:
     """Fig. 9: bypass coverage/efficiency, Mockingjay vs CHROME."""
-    suite = spec_homogeneous_suite(runner, num_cores=4)
-    schemes = ("mockingjay", "chrome")
-    rows = []
-    for name in suite:
-        row: List[object] = [name]
-        for s in schemes:
-            row += [
-                100 * suite[name][s].bypass_coverage,
-                100 * suite[name][s].bypass_efficiency,
-            ]
-        rows.append(row)
-    mean_row: List[object] = ["mean"]
-    for s in schemes:
-        mean_row += [
-            100 * sum(suite[n][s].bypass_coverage for n in suite) / len(suite),
-            100 * sum(suite[n][s].bypass_efficiency for n in suite) / len(suite),
-        ]
-    rows.append(mean_row)
-    return ExperimentResult(
-        experiment_id="fig9",
-        title="Bypass coverage and efficiency, 4-core SPEC homogeneous mixes (%)",
-        columns=[
-            "workload",
-            "mockingjay_coverage",
-            "mockingjay_efficiency",
-            "chrome_coverage",
-            "chrome_efficiency",
-        ],
-        rows=rows,
-        notes=["paper means (CHROME): 41.5% coverage, 70.8% efficiency"],
-    )
+    return runner.run_plan(fig9_plan(runner.scale))
 
 
 # --- Fig. 10: 4-core heterogeneous mixes ------------------------------------------
 
 
+def fig10_plan(scale: ExperimentScale) -> ExperimentPlan:
+    schemes = ("hawkeye", "glider", "mockingjay", "chrome")
+    mixes = random_mix_names(scale.hetero_mixes, 4)
+    baselines = {
+        i: _hetero_job(scale, names, 100 + i, "lru")
+        for i, names in enumerate(mixes)
+    }
+    runs = {
+        (i, s): _hetero_job(scale, names, 100 + i, s)
+        for i, names in enumerate(mixes)
+        for s in schemes
+    }
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        per_mix: List[Tuple[str, Dict[str, MixMetrics]]] = []
+        for i, names in enumerate(mixes):
+            base = results[baselines[i]]
+            metrics = {s: summarize(results[runs[(i, s)]], base) for s in schemes}
+            per_mix.append(("+".join(names), metrics))
+        per_mix.sort(key=lambda item: item[1]["chrome"].weighted_speedup)
+        rows = [
+            [label] + [m[s].speedup_percent for s in schemes]
+            for label, m in per_mix
+        ]
+        rows.append(
+            ["geomean"]
+            + [
+                speedup_percent(
+                    geometric_mean([m[s].weighted_speedup for _, m in per_mix])
+                )
+                for s in schemes
+            ]
+        )
+        best = sum(
+            1
+            for _, m in per_mix
+            if m["chrome"].weighted_speedup
+            >= max(m[s].weighted_speedup for s in schemes)
+        )
+        return ExperimentResult(
+            experiment_id="fig10",
+            title="Weighted speedup, 4-core heterogeneous mixes (%) — ascending in CHROME",
+            columns=["mix", *schemes],
+            rows=rows,
+            notes=[
+                "paper geomeans: Hawkeye 6.7, Glider 7.4, Mockingjay 8.6, CHROME 9.6",
+                f"CHROME best in {best}/{len(per_mix)} mixes (paper: 119/150)",
+            ],
+        )
+
+    return ExperimentPlan("fig10", _flat(baselines, runs), assemble)
+
+
 def fig10(runner: Runner) -> ExperimentResult:
     """Fig. 10: random heterogeneous 4-core mixes, ascending s-curve."""
-    schemes = ("hawkeye", "glider", "mockingjay", "chrome")
-    mixes = random_mix_names(runner.scale.hetero_mixes, 4)
-    per_mix: List[Tuple[str, Dict[str, MixMetrics]]] = []
-    for i, names in enumerate(mixes):
-        mix_key, traces = runner.make_heterogeneous(names, seed=100 + i)
-        metrics = runner.compare(schemes, mix_key, traces)
-        per_mix.append(("+".join(names), metrics))
-    per_mix.sort(key=lambda item: item[1]["chrome"].weighted_speedup)
-    rows = [
-        [label] + [m[s].speedup_percent for s in schemes] for label, m in per_mix
-    ]
-    rows.append(
-        ["geomean"]
-        + [
-            speedup_percent(
-                geometric_mean([m[s].weighted_speedup for _, m in per_mix])
-            )
-            for s in schemes
-        ]
-    )
-    best = sum(
-        1
-        for _, m in per_mix
-        if m["chrome"].weighted_speedup
-        >= max(m[s].weighted_speedup for s in schemes)
-    )
-    return ExperimentResult(
-        experiment_id="fig10",
-        title="Weighted speedup, 4-core heterogeneous mixes (%) — ascending in CHROME",
-        columns=["mix", *schemes],
-        rows=rows,
-        notes=[
-            "paper geomeans: Hawkeye 6.7, Glider 7.4, Mockingjay 8.6, CHROME 9.6",
-            f"CHROME best in {best}/{len(per_mix)} mixes (paper: 119/150)",
-        ],
-    )
+    return runner.run_plan(fig10_plan(runner.scale))
 
 
 # --- Fig. 11: scalability ----------------------------------------------------------
 
 
-def fig11(runner: Runner) -> ExperimentResult:
-    """Fig. 11: scalability across 4/8/16 cores, homo + hetero."""
-    rows = []
-    workloads = _suite_workloads(runner)
+def fig11_plan(scale: ExperimentScale) -> ExperimentPlan:
+    workloads = _suite_workloads(scale)
     small = workloads[: max(2, len(workloads) // 2)]
+    homo = {}
     for cores in (4, 8, 16):
         use = workloads if cores == 4 else small
-        suite = spec_homogeneous_suite(runner, num_cores=cores, workloads=use)
-        rows.append([f"homo-{cores}c"] + [_geomean_speedup(suite, s) for s in SCHEMES])
-    hetero_count = max(2, runner.scale.hetero_mixes // 4)
+        homo[cores] = _suite_jobs(scale, use, cores, SCHEMES)
+    hetero_count = max(2, scale.hetero_mixes // 4)
+    hetero: Dict[int, Tuple[Dict, Dict]] = {}
     for cores in (4, 8, 16):
         mixes = random_mix_names(hetero_count, cores, seed=7 + cores)
-        speedups: Dict[str, List[float]] = {s: [] for s in SCHEMES}
-        for i, names in enumerate(mixes):
-            mix_key, traces = runner.make_heterogeneous(names, seed=200 + i)
-            metrics = runner.compare(SCHEMES, mix_key, traces)
-            for s in SCHEMES:
-                speedups[s].append(metrics[s].weighted_speedup)
-        rows.append(
-            [f"hetero-{cores}c"]
-            + [speedup_percent(geometric_mean(speedups[s])) for s in SCHEMES]
+        baselines = {
+            i: _hetero_job(scale, names, 200 + i, "lru")
+            for i, names in enumerate(mixes)
+        }
+        runs = {
+            (i, s): _hetero_job(scale, names, 200 + i, s)
+            for i, names in enumerate(mixes)
+            for s in SCHEMES
+        }
+        hetero[cores] = (baselines, runs)
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        rows = []
+        for cores in (4, 8, 16):
+            baselines, runs = homo[cores]
+            suite = _suite_metrics(baselines, runs, results)
+            rows.append(
+                [f"homo-{cores}c"] + [_geomean_speedup(suite, s) for s in SCHEMES]
+            )
+        for cores in (4, 8, 16):
+            baselines, runs = hetero[cores]
+            speedups: Dict[str, List[float]] = {s: [] for s in SCHEMES}
+            for i in baselines:
+                base = results[baselines[i]]
+                for s in SCHEMES:
+                    speedups[s].append(
+                        summarize(results[runs[(i, s)]], base).weighted_speedup
+                    )
+            rows.append(
+                [f"hetero-{cores}c"]
+                + [speedup_percent(geometric_mean(speedups[s])) for s in SCHEMES]
+            )
+        return ExperimentResult(
+            experiment_id="fig11",
+            title="Scalability: speedup over LRU for 4/8/16 cores (%)",
+            columns=["config", *SCHEMES],
+            rows=rows,
+            notes=[
+                "paper homo: CHROME 9.2/10.6/12.9; CARE 7.6/8.6/10.2 for 4/8/16 cores",
+                "paper hetero: CHROME 9.6/12.9/14.4; CHROME margin grows with cores",
+            ],
         )
-    return ExperimentResult(
-        experiment_id="fig11",
-        title="Scalability: speedup over LRU for 4/8/16 cores (%)",
-        columns=["config", *SCHEMES],
-        rows=rows,
-        notes=[
-            "paper homo: CHROME 9.2/10.6/12.9; CARE 7.6/8.6/10.2 for 4/8/16 cores",
-            "paper hetero: CHROME 9.6/12.9/14.4; CHROME margin grows with cores",
-        ],
-    )
+
+    groups = []
+    for cores in (4, 8, 16):
+        groups.extend(homo[cores])
+    for cores in (4, 8, 16):
+        groups.extend(hetero[cores])
+    return ExperimentPlan("fig11", _flat(*groups), assemble)
+
+
+def fig11(runner: Runner) -> ExperimentResult:
+    """Fig. 11: scalability across 4/8/16 cores, homo + hetero."""
+    return runner.run_plan(fig11_plan(runner.scale))
 
 
 # --- Fig. 12: CHROME vs N-CHROME ---------------------------------------------------
 
 
-def fig12(runner: Runner) -> ExperimentResult:
-    """Fig. 12: concurrency-feedback ablation (CHROME vs N-CHROME)."""
-    workloads = _suite_workloads(runner)
+def fig12_plan(scale: ExperimentScale) -> ExperimentPlan:
+    workloads = _suite_workloads(scale)
     small = workloads[: max(2, len(workloads) // 2)]
-    rows = []
+    suites = {}
     for cores in (4, 8, 16):
         use = workloads if cores == 4 else small
-        suite = spec_homogeneous_suite(
-            runner,
-            num_cores=cores,
-            schemes=("chrome", "n-chrome"),
-            workloads=use,
+        suites[cores] = _suite_jobs(scale, use, cores, ("chrome", "n-chrome"))
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        rows = []
+        for cores in (4, 8, 16):
+            baselines, runs = suites[cores]
+            suite = _suite_metrics(baselines, runs, results)
+            rows.append(
+                [
+                    f"{cores}c",
+                    _geomean_speedup(suite, "chrome"),
+                    _geomean_speedup(suite, "n-chrome"),
+                ]
+            )
+        return ExperimentResult(
+            experiment_id="fig12",
+            title="CHROME vs N-CHROME (no concurrency feedback), speedup (%)",
+            columns=["cores", "chrome", "n-chrome"],
+            rows=rows,
+            notes=[
+                "paper: CHROME 9.2/10.6/12.9 vs N-CHROME 8.3/9.1/10.0 — gap grows with cores"
+            ],
         )
-        rows.append(
-            [
-                f"{cores}c",
-                _geomean_speedup(suite, "chrome"),
-                _geomean_speedup(suite, "n-chrome"),
-            ]
-        )
-    return ExperimentResult(
-        experiment_id="fig12",
-        title="CHROME vs N-CHROME (no concurrency feedback), speedup (%)",
-        columns=["cores", "chrome", "n-chrome"],
-        rows=rows,
-        notes=["paper: CHROME 9.2/10.6/12.9 vs N-CHROME 8.3/9.1/10.0 — gap grows with cores"],
-    )
+
+    groups = []
+    for cores in (4, 8, 16):
+        groups.extend(suites[cores])
+    return ExperimentPlan("fig12", _flat(*groups), assemble)
+
+
+def fig12(runner: Runner) -> ExperimentResult:
+    """Fig. 12: concurrency-feedback ablation (CHROME vs N-CHROME)."""
+    return runner.run_plan(fig12_plan(runner.scale))
 
 
 # --- Fig. 13: GAP (unseen) workloads ----------------------------------------------
 
 
-def fig13(runner: Runner) -> ExperimentResult:
-    """Fig. 13: GAP graph workloads at 4/8/16 cores."""
-    traces = runner.scale.limit_workloads(list(GAP_TRACES))
-    rows = []
+def fig13_plan(scale: ExperimentScale) -> ExperimentPlan:
+    traces = scale.limit_workloads(list(GAP_TRACES))
+    suites = {}
     for cores in (4, 8, 16):
         use = traces if cores == 4 else traces[: max(2, len(traces) // 2)]
-        suite = spec_homogeneous_suite(runner, num_cores=cores, workloads=use)
-        rows.append([f"{cores}c"] + [_geomean_speedup(suite, s) for s in SCHEMES])
-    return ExperimentResult(
-        experiment_id="fig13",
-        title="GAP workloads (not used for tuning): speedup over LRU (%)",
-        columns=["cores", *SCHEMES],
-        rows=rows,
-        notes=["paper: CHROME 9.5/12.1/16.0 for 4/8/16 cores; CARE second best"],
-    )
+        suites[cores] = _suite_jobs(scale, use, cores, SCHEMES)
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        rows = []
+        for cores in (4, 8, 16):
+            baselines, runs = suites[cores]
+            suite = _suite_metrics(baselines, runs, results)
+            rows.append([f"{cores}c"] + [_geomean_speedup(suite, s) for s in SCHEMES])
+        return ExperimentResult(
+            experiment_id="fig13",
+            title="GAP workloads (not used for tuning): speedup over LRU (%)",
+            columns=["cores", *SCHEMES],
+            rows=rows,
+            notes=["paper: CHROME 9.5/12.1/16.0 for 4/8/16 cores; CARE second best"],
+        )
+
+    groups = []
+    for cores in (4, 8, 16):
+        groups.extend(suites[cores])
+    return ExperimentPlan("fig13", _flat(*groups), assemble)
+
+
+def fig13(runner: Runner) -> ExperimentResult:
+    """Fig. 13: GAP graph workloads at 4/8/16 cores."""
+    return runner.run_plan(fig13_plan(runner.scale))
 
 
 # --- Fig. 14: alternative prefetching schemes ----------------------------------------
 
 
+def fig14_plan(scale: ExperimentScale) -> ExperimentPlan:
+    workloads = _suite_workloads(scale)
+    prefetchers = ("stride_streamer", "ipcp")
+    suites = {
+        prefetch: _suite_jobs(scale, workloads, 4, SCHEMES, prefetch)
+        for prefetch in prefetchers
+    }
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        rows = []
+        for prefetch in prefetchers:
+            baselines, runs = suites[prefetch]
+            suite = _suite_metrics(baselines, runs, results)
+            rows.append([prefetch] + [_geomean_speedup(suite, s) for s in SCHEMES])
+        return ExperimentResult(
+            experiment_id="fig14",
+            title="Speedup under alternative prefetchers, 4-core (%)",
+            columns=["prefetch", *SCHEMES],
+            rows=rows,
+            notes=[
+                "paper: stride+streamer CHROME 5.9 vs Mockingjay 5.2; IPCP CHROME 7.2 vs 5.7"
+            ],
+        )
+
+    groups = []
+    for prefetch in prefetchers:
+        groups.extend(suites[prefetch])
+    return ExperimentPlan("fig14", _flat(*groups), assemble)
+
+
 def fig14(runner: Runner) -> ExperimentResult:
     """Fig. 14: stride+streamer and IPCP prefetch configurations."""
-    workloads = _suite_workloads(runner)
-    rows = []
-    for prefetch in ("stride_streamer", "ipcp"):
-        suite = spec_homogeneous_suite(
-            runner, num_cores=4, prefetch=prefetch, workloads=workloads
-        )
-        rows.append([prefetch] + [_geomean_speedup(suite, s) for s in SCHEMES])
-    return ExperimentResult(
-        experiment_id="fig14",
-        title="Speedup under alternative prefetchers, 4-core (%)",
-        columns=["prefetch", *SCHEMES],
-        rows=rows,
-        notes=["paper: stride+streamer CHROME 5.9 vs Mockingjay 5.2; IPCP CHROME 7.2 vs 5.7"],
-    )
+    return runner.run_plan(fig14_plan(runner.scale))
 
 
 # --- Table VII: EQ FIFO size sweep ---------------------------------------------------
 
 
+def tab7_plan(scale: ExperimentScale) -> ExperimentPlan:
+    workloads = _suite_workloads(scale)
+    workloads = workloads[: max(3, len(workloads) // 2)]
+    fifo_sizes = (12, 16, 20, 24, 28, 32, 36)
+    baselines = {name: _homo_job(scale, name, 4, "lru") for name in workloads}
+    runs = {
+        (fifo, name): _homo_job(
+            scale, name, 4, PolicySpec.chrome_variant(eq_fifo_size=fifo)
+        )
+        for fifo in fifo_sizes
+        for name in workloads
+    }
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        rows = []
+        for fifo in fifo_sizes:
+            speedups, upksas = [], []
+            for name in workloads:
+                base = results[baselines[name]]
+                result = results[runs[(fifo, name)]]
+                speedups.append(weighted_speedup(result.ipcs, base.ipcs))
+                upksas.append(result.extra["policy_telemetry"]["upksa"])
+            rows.append(
+                [
+                    fifo,
+                    speedup_percent(geometric_mean(speedups)),
+                    sum(upksas) / len(upksas),
+                    eq_overhead_kb(fifo),
+                ]
+            )
+        return ExperimentResult(
+            experiment_id="tab7",
+            title="EQ FIFO size sweep (4-core SPEC homogeneous)",
+            columns=["fifo_size", "speedup_pct", "upksa", "eq_overhead_kb"],
+            rows=rows,
+            notes=[
+                "paper: speedup peaks at 28 (9.2%); UPKSA falls 911->759; overhead 5.4->16.3 KB",
+            ],
+        )
+
+    return ExperimentPlan("tab7", _flat(baselines, runs), assemble)
+
+
 def tab7(runner: Runner) -> ExperimentResult:
     """Table VII: EQ FIFO depth sweep (speedup, UPKSA, overhead)."""
-    workloads = _suite_workloads(runner)
-    workloads = workloads[: max(3, len(workloads) // 2)]
-    rows = []
-    for fifo in (12, 16, 20, 24, 28, 32, 36):
-        speedups, upksas = [], []
-        for name in workloads:
-            mix_key, traces = runner.make_homogeneous(name, 4)
-            base = runner.baseline(mix_key, traces)
-            result = runner.run(
-                chrome_with(
-                    eq_fifo_size=fifo,
-                    sampled_sets=scaled_sampled_sets(runner.scale.machine_scale),
-                ),
-                traces,
-            )
-            speedups.append(weighted_speedup(result.ipcs, base.ipcs))
-            upksas.append(result.extra["policy_telemetry"]["upksa"])
-        rows.append(
-            [
-                fifo,
-                speedup_percent(geometric_mean(speedups)),
-                sum(upksas) / len(upksas),
-                eq_overhead_kb(fifo),
-            ]
-        )
-    return ExperimentResult(
-        experiment_id="tab7",
-        title="EQ FIFO size sweep (4-core SPEC homogeneous)",
-        columns=["fifo_size", "speedup_pct", "upksa", "eq_overhead_kb"],
-        rows=rows,
-        notes=[
-            "paper: speedup peaks at 28 (9.2%); UPKSA falls 911->759; overhead 5.4->16.3 KB",
-        ],
-    )
+    return runner.run_plan(tab7_plan(runner.scale))
 
 
 # --- Fig. 15: feature ablation -------------------------------------------------------
 
 
-def fig15(runner: Runner) -> ExperimentResult:
-    """Fig. 15: state-feature ablation (PC / PN / PC+PN)."""
-    workloads = _suite_workloads(runner)
+def fig15_plan(scale: ExperimentScale) -> ExperimentPlan:
+    workloads = _suite_workloads(scale)
     variants = [
         ("pc_only", ("pc_sig",)),
         ("pn_only", ("page",)),
         ("pc+pn", ("pc_sig", "page")),
     ]
-    rows = []
-    for label, features in variants:
-        speedups = []
-        for name in workloads:
-            mix_key, traces = runner.make_homogeneous(name, 4)
-            base = runner.baseline(mix_key, traces)
-            result = runner.run(
-                chrome_with(
-                    features=features,
-                    sampled_sets=scaled_sampled_sets(runner.scale.machine_scale),
-                ),
-                traces,
-            )
-            speedups.append(weighted_speedup(result.ipcs, base.ipcs))
-        rows.append([label, speedup_percent(geometric_mean(speedups))])
-    return ExperimentResult(
-        experiment_id="fig15",
-        title="CHROME feature ablation, 4-core SPEC homogeneous (%)",
-        columns=["features", "speedup_pct"],
-        rows=rows,
-        notes=["paper: PC-only 7.2%, PN-only 3.6%, PC+PN 9.2%"],
-    )
+    baselines = {name: _homo_job(scale, name, 4, "lru") for name in workloads}
+    runs = {
+        (label, name): _homo_job(
+            scale, name, 4, PolicySpec.chrome_variant(features=features)
+        )
+        for label, features in variants
+        for name in workloads
+    }
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        rows = []
+        for label, _features in variants:
+            speedups = []
+            for name in workloads:
+                base = results[baselines[name]]
+                result = results[runs[(label, name)]]
+                speedups.append(weighted_speedup(result.ipcs, base.ipcs))
+            rows.append([label, speedup_percent(geometric_mean(speedups))])
+        return ExperimentResult(
+            experiment_id="fig15",
+            title="CHROME feature ablation, 4-core SPEC homogeneous (%)",
+            columns=["features", "speedup_pct"],
+            rows=rows,
+            notes=["paper: PC-only 7.2%, PN-only 3.6%, PC+PN 9.2%"],
+        )
+
+    return ExperimentPlan("fig15", _flat(baselines, runs), assemble)
+
+
+def fig15(runner: Runner) -> ExperimentResult:
+    """Fig. 15: state-feature ablation (PC / PN / PC+PN)."""
+    return runner.run_plan(fig15_plan(runner.scale))
 
 
 # --- Fig. 16: hyper-parameter sensitivity ---------------------------------------------
 
 
-def fig16(runner: Runner) -> ExperimentResult:
-    """Fig. 16: hyper-parameter sensitivity sweeps."""
-    workloads = _suite_workloads(runner)
+def fig16_plan(scale: ExperimentScale) -> ExperimentPlan:
+    workloads = _suite_workloads(scale)
     workloads = workloads[: max(3, len(workloads) // 2)]
     sweeps = [
         ("alpha", (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 0.5)),
         ("gamma", (1e-4, 1e-3, 1e-2, 1e-1, 0.5, 0.9)),
         ("epsilon", (0.0, 1e-4, 1e-3, 1e-2, 1e-1)),
     ]
-    rows = []
-    for param, values in sweeps:
-        for value in values:
-            speedups = []
-            for name in workloads:
-                mix_key, traces = runner.make_homogeneous(name, 4)
-                base = runner.baseline(mix_key, traces)
-                result = runner.run(
-                    chrome_with(
-                        sampled_sets=scaled_sampled_sets(runner.scale.machine_scale),
-                        **{param: value},
-                    ),
-                    traces,
-                )
-                speedups.append(weighted_speedup(result.ipcs, base.ipcs))
-            rows.append([param, value, speedup_percent(geometric_mean(speedups))])
-    return ExperimentResult(
-        experiment_id="fig16",
-        title="CHROME hyper-parameter sensitivity, 4-core (%)",
-        columns=["parameter", "value", "speedup_pct"],
-        rows=rows,
-        notes=["paper optima: alpha ~1e-3..5e-2, gamma ~1e-1..0.37, epsilon 1e-3"],
-    )
+    baselines = {name: _homo_job(scale, name, 4, "lru") for name in workloads}
+    runs = {
+        (param, value, name): _homo_job(
+            scale, name, 4, PolicySpec.chrome_variant(**{param: value})
+        )
+        for param, values in sweeps
+        for value in values
+        for name in workloads
+    }
+
+    def assemble(results: JobResults) -> ExperimentResult:
+        rows = []
+        for param, values in sweeps:
+            for value in values:
+                speedups = []
+                for name in workloads:
+                    base = results[baselines[name]]
+                    result = results[runs[(param, value, name)]]
+                    speedups.append(weighted_speedup(result.ipcs, base.ipcs))
+                rows.append([param, value, speedup_percent(geometric_mean(speedups))])
+        return ExperimentResult(
+            experiment_id="fig16",
+            title="CHROME hyper-parameter sensitivity, 4-core (%)",
+            columns=["parameter", "value", "speedup_pct"],
+            rows=rows,
+            notes=["paper optima: alpha ~1e-3..5e-2, gamma ~1e-1..0.37, epsilon 1e-3"],
+        )
+
+    return ExperimentPlan("fig16", _flat(baselines, runs), assemble)
 
 
-# --- Tables III & IV: storage overhead -----------------------------------------------
+def fig16(runner: Runner) -> ExperimentResult:
+    """Fig. 16: hyper-parameter sensitivity sweeps."""
+    return runner.run_plan(fig16_plan(runner.scale))
+
+
+# --- Tables III & IV: storage overhead (analytic — zero simulation jobs) -------------
+
+
+def tab3_plan(scale: ExperimentScale) -> ExperimentPlan:
+    def assemble(results: JobResults) -> ExperimentResult:
+        breakdown = chrome_overhead()
+        rows = [
+            ["q-table", round(breakdown.qtable_kb, 1)],
+            ["eq", round(breakdown.eq_kb, 1)],
+            ["metadata(epv)", round(breakdown.metadata_kb, 1)],
+            ["total", round(breakdown.total_kb, 1)],
+            [
+                "fraction_of_12MB_llc_pct",
+                round(100 * overhead_fraction_of_llc(breakdown), 2),
+            ],
+        ]
+        return ExperimentResult(
+            experiment_id="tab3",
+            title="CHROME storage overhead (KB)",
+            columns=["component", "kb"],
+            rows=rows,
+            notes=["paper: 32 + 12.7 + 48 = 92.7 KB (0.75% of 12MB LLC)"],
+        )
+
+    return ExperimentPlan("tab3", (), assemble)
 
 
 def tab3(runner: Runner) -> ExperimentResult:
     """Table III: CHROME storage budget (analytic, exact)."""
-    breakdown = chrome_overhead()
-    rows = [
-        ["q-table", round(breakdown.qtable_kb, 1)],
-        ["eq", round(breakdown.eq_kb, 1)],
-        ["metadata(epv)", round(breakdown.metadata_kb, 1)],
-        ["total", round(breakdown.total_kb, 1)],
-        ["fraction_of_12MB_llc_pct", round(100 * overhead_fraction_of_llc(breakdown), 2)],
-    ]
-    return ExperimentResult(
-        experiment_id="tab3",
-        title="CHROME storage overhead (KB)",
-        columns=["component", "kb"],
-        rows=rows,
-        notes=["paper: 32 + 12.7 + 48 = 92.7 KB (0.75% of 12MB LLC)"],
-    )
+    return runner.run_plan(tab3_plan(runner.scale))
+
+
+def tab4_plan(scale: ExperimentScale) -> ExperimentPlan:
+    def assemble(results: JobResults) -> ExperimentResult:
+        rows = [
+            [
+                s.scheme,
+                "yes" if s.holistic else "no",
+                "yes" if s.concurrency_aware else "no",
+                s.overhead_kb,
+                s.source,
+            ]
+            for s in overhead_comparison()
+        ]
+        return ExperimentResult(
+            experiment_id="tab4",
+            title="Storage overhead comparison (4-core, 12-way 12MB LLC)",
+            columns=["scheme", "holistic", "concurrency", "overhead_kb", "source"],
+            rows=rows,
+            notes=["paper: 146 / 254 / 170.6 / 130.5 / 92.7 KB — CHROME smallest"],
+        )
+
+    return ExperimentPlan("tab4", (), assemble)
 
 
 def tab4(runner: Runner) -> ExperimentResult:
     """Table IV: storage overhead across schemes (analytic)."""
-    rows = [
-        [s.scheme, "yes" if s.holistic else "no", "yes" if s.concurrency_aware else "no", s.overhead_kb, s.source]
-        for s in overhead_comparison()
-    ]
-    return ExperimentResult(
-        experiment_id="tab4",
-        title="Storage overhead comparison (4-core, 12-way 12MB LLC)",
-        columns=["scheme", "holistic", "concurrency", "overhead_kb", "source"],
-        rows=rows,
-        notes=["paper: 146 / 254 / 170.6 / 130.5 / 92.7 KB — CHROME smallest"],
-    )
+    return runner.run_plan(tab4_plan(runner.scale))
 
 
-EXPERIMENTS: Dict[str, ExperimentFn] = {
-    "fig1": fig1,
-    "fig2": fig2,
-    "fig3": fig3,
-    "fig6": fig6,
-    "fig7": fig7,
-    "fig8": fig8,
-    "fig9": fig9,
-    "fig10": fig10,
-    "fig11": fig11,
-    "fig12": fig12,
-    "fig13": fig13,
-    "fig14": fig14,
-    "fig15": fig15,
-    "fig16": fig16,
-    "tab3": tab3,
-    "tab4": tab4,
-    "tab7": tab7,
-}
+# --- registration -------------------------------------------------------------------
+
+for _id, _fn, _plan in (
+    ("fig1", fig1, fig1_plan),
+    ("fig2", fig2, fig2_plan),
+    ("fig3", fig3, fig3_plan),
+    ("fig6", fig6, fig6_plan),
+    ("fig7", fig7, fig7_plan),
+    ("fig8", fig8, fig8_plan),
+    ("fig9", fig9, fig9_plan),
+    ("fig10", fig10, fig10_plan),
+    ("fig11", fig11, fig11_plan),
+    ("fig12", fig12, fig12_plan),
+    ("fig13", fig13, fig13_plan),
+    ("fig14", fig14, fig14_plan),
+    ("fig15", fig15, fig15_plan),
+    ("fig16", fig16, fig16_plan),
+    ("tab3", tab3, tab3_plan),
+    ("tab4", tab4, tab4_plan),
+    ("tab7", tab7, tab7_plan),
+):
+    register_experiment(_id, _fn, plan=_plan)
 
 
 def _register_ablations() -> None:
-    """Fold the beyond-the-paper ablation studies into the registry.
-
-    Imported lazily to avoid a circular import (ablations reuses this
-    module's suite helpers)."""
-    from .ablations import ABLATIONS
-
-    for experiment_id, fn in ABLATIONS.items():
-        EXPERIMENTS.setdefault(experiment_id, fn)
+    """Deprecated shim: ablations now register eagerly when
+    :mod:`repro.experiments` (or this module's package) is imported."""
+    from . import ablations  # noqa: F401  (import triggers registration)
 
 
 def run_experiment(experiment_id: str, runner: Runner | None = None) -> ExperimentResult:
     """Regenerate one paper artifact (or ablation) by id."""
-    if experiment_id not in EXPERIMENTS:
-        _register_ablations()
+    _register_ablations()
     try:
         fn = EXPERIMENTS[experiment_id]
     except KeyError:

@@ -1,0 +1,71 @@
+"""On-disk memoization of completed simulation jobs.
+
+Results are keyed by a content hash of the full job spec plus
+:data:`~repro.experiments.jobspec.CODE_VERSION`, so a warm cache makes
+re-runs and cross-figure overlaps free while any change to the spec (or
+a simulator-semantics version bump) transparently invalidates the
+entry.  Corrupt or unreadable entries are treated as misses — the cache
+can never change results, only skip work.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..sim.multicore import SystemResult
+from .jobspec import CODE_VERSION, SimJob, job_fingerprint
+
+
+class ResultCache:
+    """A directory of pickled :class:`SystemResult`, one file per job."""
+
+    def __init__(self, root: str | os.PathLike, code_version: str = CODE_VERSION):
+        self.root = Path(root)
+        self.code_version = code_version
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError):
+            raise ValueError(
+                f"cache dir {str(self.root)!r} exists and is not a directory"
+            ) from None
+
+    def path(self, job: SimJob) -> Path:
+        return self.root / f"{job_fingerprint(job, self.code_version)}.pkl"
+
+    def get(self, job: SimJob) -> Optional[SystemResult]:
+        path = self.path(job)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # A truncated/corrupt entry is a miss, never an error.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, job: SimJob, result: SystemResult) -> None:
+        path = self.path(job)
+        # Atomic publish so concurrent runs sharing a cache dir never
+        # observe a half-written entry.
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))

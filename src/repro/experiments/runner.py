@@ -32,14 +32,50 @@ from ..traces.trace import Trace
 from .metrics import MixMetrics, summarize
 
 
-def _env_float(name: str, default: float) -> float:
+def _env_float(name: str, default: float, minimum_exclusive: float = 0.0) -> float:
+    """Parse a float env override; empty/unset falls back to the default.
+
+    Typos raise a clear error naming the variable instead of a bare
+    ``ValueError``, and non-positive values are rejected (every scale
+    knob is a strictly positive quantity).
+    """
     raw = os.environ.get(name)
-    return float(raw) if raw else default
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name}={raw!r} is not a valid number"
+        ) from None
+    if value <= minimum_exclusive:
+        raise ValueError(
+            f"environment variable {name}={raw!r} must be > {minimum_exclusive:g}"
+        )
+    return value
 
 
-def _env_int(name: str, default: int) -> int:
+def _env_int(name: str, default: int, minimum: int = 1) -> int:
+    """Parse an integer env override; empty/unset falls back to the default.
+
+    Rejects non-integers (e.g. ``REPRO_ACCESSES=24k``) with an error
+    naming the variable, and values below ``minimum`` (count caps where
+    0 means "no cap" pass ``minimum=0``).
+    """
     raw = os.environ.get(name)
-    return int(raw) if raw else default
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name}={raw!r} is not a valid integer"
+        ) from None
+    if value < minimum:
+        raise ValueError(
+            f"environment variable {name}={raw!r} must be >= {minimum}"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -58,10 +94,18 @@ class ExperimentScale:
         return cls(
             machine_scale=_env_float("REPRO_SCALE", base.machine_scale),
             accesses_per_core=_env_int("REPRO_ACCESSES", base.accesses_per_core),
-            warmup_per_core=_env_int("REPRO_WARMUP", base.warmup_per_core),
-            workload_limit=_env_int("REPRO_WORKLOADS", base.workload_limit),
+            # Warmup may legitimately be disabled (0); the workload cap
+            # uses 0 as the documented "all workloads" sentinel.
+            warmup_per_core=_env_int("REPRO_WARMUP", base.warmup_per_core, minimum=0),
+            workload_limit=_env_int("REPRO_WORKLOADS", base.workload_limit, minimum=0),
             hetero_mixes=_env_int("REPRO_MIXES", base.hetero_mixes),
         )
+
+    def with_overrides(self, **overrides) -> "ExperimentScale":
+        """A copy with the given fields replaced; ``None`` values are
+        ignored (so CLI args can be forwarded verbatim)."""
+        clean = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **clean) if clean else self
 
     def limit_workloads(self, names: Sequence[str]) -> List[str]:
         if self.workload_limit and self.workload_limit < len(names):
@@ -121,11 +165,52 @@ def scaled_sampled_sets(machine_scale: float) -> int:
 
 
 class Runner:
-    """Runs simulations and caches LRU baselines per mix."""
+    """Runs simulations and caches LRU baselines per mix.
 
-    def __init__(self, scale: Optional[ExperimentScale] = None) -> None:
+    Every Runner owns an :class:`~repro.experiments.engine.Engine`
+    (serial by default; pass a shared multi-worker engine to
+    parallelize).  String-named policy runs on mixes built by this
+    runner route through the engine, so figures, ablations and ad-hoc
+    comparisons all share one pool of completed simulations.
+    """
+
+    def __init__(
+        self,
+        scale: Optional[ExperimentScale] = None,
+        engine: Optional[object] = None,
+    ) -> None:
         self.scale = scale or ExperimentScale.from_env()
+        self._engine = engine
         self._baseline_cache: Dict[Tuple, SystemResult] = {}
+
+    @property
+    def engine(self):
+        if self._engine is None:
+            from .engine import Engine  # local import breaks the cycle
+
+            self._engine = Engine(workers=1)
+        return self._engine
+
+    def run_plan(self, plan):
+        """Execute a declarative experiment plan on this runner's engine."""
+        return self.engine.run_plan(plan)
+
+    def _job_from_mix_key(self, mix_key: Tuple, policy: str, prefetch: str):
+        """Rebuild the SimJob equivalent of a make_* mix key, if possible."""
+        from .jobspec import MixSpec, job_for
+
+        try:
+            if mix_key[0] == "homo":
+                _, name, num_cores, seed = mix_key
+                mix = MixSpec.homogeneous(name, num_cores, seed=seed)
+            elif mix_key[0] == "hetero":
+                _, names, seed = mix_key
+                mix = MixSpec.heterogeneous(tuple(names), seed=seed)
+            else:
+                return None
+        except (ValueError, TypeError, IndexError):
+            return None
+        return job_for(self.scale, mix, policy, prefetch=prefetch)
 
     # --- mix construction -------------------------------------------------------
 
@@ -180,7 +265,13 @@ class Runner:
         cache_key = (mix_key, prefetch, self.scale)
         result = self._baseline_cache.get(cache_key)
         if result is None:
-            result = self.run("lru", traces, prefetch=prefetch)
+            job = self._job_from_mix_key(mix_key, "lru", prefetch)
+            if job is not None:
+                # Through the engine: shared with figure plans and the
+                # on-disk result cache, not just this runner.
+                result = self.engine.run_jobs([job], experiment_id="baseline")[job]
+            else:
+                result = self.run("lru", traces, prefetch=prefetch)
             self._baseline_cache[cache_key] = result
         return result
 
@@ -193,10 +284,24 @@ class Runner:
     ) -> Dict[str, MixMetrics]:
         """Run each policy on the mix; metrics normalized to shared LRU."""
         base = self.baseline(mix_key, traces, prefetch=prefetch)
+        named = [p for p in policies if isinstance(p, str)]
+        jobs = {}
+        for name in named:
+            job = self._job_from_mix_key(mix_key, name, prefetch)
+            if job is not None:
+                jobs[name] = job
+        results = (
+            self.engine.run_jobs(list(jobs.values()), experiment_id="compare")
+            if jobs
+            else {}
+        )
         out: Dict[str, MixMetrics] = {}
         for policy in policies:
-            instance = resolve_policy(policy, self.scale.machine_scale)
-            result = self.run(instance, traces, prefetch=prefetch)
+            if isinstance(policy, str) and policy in jobs:
+                result = results[jobs[policy]]
+            else:
+                instance = resolve_policy(policy, self.scale.machine_scale)
+                result = self.run(instance, traces, prefetch=prefetch)
             out[result.policy_name] = summarize(result, base)
         return out
 

@@ -1,0 +1,304 @@
+"""Tests for the parallel experiment engine (jobs, dedup, caching,
+determinism) and the public experiment registry API."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    Engine,
+    ExperimentScale,
+    MixSpec,
+    PolicySpec,
+    ResultCache,
+    Runner,
+    available_experiments,
+    execute_job,
+    get_plan,
+    job_fingerprint,
+    job_for,
+    register_experiment,
+)
+from repro.experiments.figures import fig6_plan, fig10_plan, tab3_plan
+from repro.experiments.registry import EXPERIMENTS, PLANS
+
+TINY = ExperimentScale(
+    machine_scale=1 / 64,
+    accesses_per_core=350,
+    warmup_per_core=80,
+    workload_limit=2,
+    hetero_mixes=2,
+)
+
+MICRO = ExperimentScale(
+    machine_scale=1 / 64,
+    accesses_per_core=200,
+    warmup_per_core=40,
+    workload_limit=1,
+    hetero_mixes=2,
+)
+
+
+def _job(scale=MICRO, policy="lru", name="hmmer06", cores=2, prefetch="nl_stride"):
+    return job_for(scale, MixSpec.homogeneous(name, cores), policy, prefetch=prefetch)
+
+
+# --- determinism -------------------------------------------------------------
+
+
+def test_fig6_bit_identical_serial_vs_parallel():
+    serial = Engine(workers=1).run_plan(fig6_plan(TINY))
+    parallel = Engine(workers=2).run_plan(fig6_plan(TINY))
+    assert serial == parallel
+
+
+def test_fig10_bit_identical_serial_vs_parallel():
+    serial = Engine(workers=1).run_plan(fig10_plan(TINY))
+    parallel = Engine(workers=2).run_plan(fig10_plan(TINY))
+    assert serial == parallel
+
+
+def test_execute_job_is_pure():
+    job = _job()
+    first = execute_job(job)
+    second = execute_job(job)
+    assert first.ipcs == second.ipcs
+    assert first.llc_stats == second.llc_stats
+
+
+# --- dedup + memo -----------------------------------------------------------
+
+
+def test_engine_dedups_identical_jobs():
+    engine = Engine(workers=1)
+    job = _job()
+    results = engine.run_jobs([job, job, job])
+    assert len(results) == 1
+    assert engine.stats.executed == 1
+
+
+def test_engine_memoizes_across_plans():
+    engine = Engine(workers=1)
+    engine.run_plan(fig6_plan(TINY))
+    executed_after_fig6 = engine.stats.executed
+    engine.run_plan(fig6_plan(TINY))  # every job already memoized
+    assert engine.stats.executed == executed_after_fig6
+    assert engine.stats.memo_hits >= executed_after_fig6
+
+
+def test_figures_share_suite_jobs():
+    from repro.experiments.figures import fig7_plan, fig8_plan, fig9_plan
+
+    assert set(fig6_plan(TINY).jobs) == set(fig7_plan(TINY).jobs)
+    assert set(fig6_plan(TINY).jobs) == set(fig8_plan(TINY).jobs)
+    assert set(fig6_plan(TINY).jobs) == set(fig9_plan(TINY).jobs)
+
+
+# --- on-disk result cache ----------------------------------------------------
+
+
+def test_result_cache_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = _job()
+    assert cache.get(job) is None
+    result = execute_job(job)
+    cache.put(job, result)
+    replay = cache.get(job)
+    assert replay is not None
+    assert replay.ipcs == result.ipcs
+
+
+def test_warm_cache_executes_zero_simulations(tmp_path):
+    cold = Engine(workers=1, cache_dir=str(tmp_path))
+    cold_result = cold.run_plan(fig6_plan(MICRO))
+    assert cold.stats.executed > 0
+
+    warm = Engine(workers=1, cache_dir=str(tmp_path))
+    warm_result = warm.run_plan(fig6_plan(MICRO))
+    assert warm.stats.executed == 0
+    assert warm.stats.disk_hits == cold.stats.executed
+    assert warm_result == cold_result
+
+
+def test_cache_invalidated_on_spec_change(tmp_path):
+    engine = Engine(workers=1, cache_dir=str(tmp_path))
+    engine.run_jobs([_job()])
+    assert engine.stats.executed == 1
+
+    # Any spec change (here: run length) keys a different cache entry.
+    changed = Engine(workers=1, cache_dir=str(tmp_path))
+    changed.run_jobs([_job(scale=MICRO.with_overrides(accesses_per_core=201))])
+    assert changed.stats.executed == 1
+    assert changed.stats.disk_hits == 0
+
+
+def test_fingerprint_sensitive_to_every_field():
+    base = _job()
+    variants = [
+        _job(policy="chrome"),
+        _job(name="mcf06"),
+        _job(cores=4),
+        _job(prefetch="none"),
+        _job(scale=MICRO.with_overrides(machine_scale=1 / 32)),
+        _job(scale=MICRO.with_overrides(warmup_per_core=41)),
+    ]
+    fingerprints = {job_fingerprint(j) for j in [base, *variants]}
+    assert len(fingerprints) == len(variants) + 1
+
+
+def test_fingerprint_sensitive_to_code_version():
+    job = _job()
+    assert job_fingerprint(job, "1") != job_fingerprint(job, "2")
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = _job()
+    cache.path(job).write_bytes(b"not a pickle")
+    assert cache.get(job) is None
+
+
+# --- job specs ---------------------------------------------------------------
+
+
+def test_policy_spec_builds_fresh_instances():
+    spec = PolicySpec.named("chrome")
+    a = spec.build(1 / 64)
+    b = spec.build(1 / 64)
+    assert a is not b  # jobs never share mutable policy state
+
+
+def test_chrome_variant_scales_sampled_sets():
+    from repro.experiments.runner import scaled_sampled_sets
+
+    policy = PolicySpec.chrome_variant(eq_fifo_size=12).build(1 / 16)
+    assert policy.config.eq_fifo_size == 12
+    assert policy.config.sampled_sets == scaled_sampled_sets(1 / 16)
+
+
+def test_unknown_policy_factory_errors():
+    with pytest.raises(KeyError):
+        PolicySpec(factory="nope").build(1.0)
+
+
+def test_analytic_plans_have_no_jobs():
+    plan = tab3_plan(TINY)
+    assert plan.jobs == ()
+    assert plan.assemble({}).row_by_key("total")[1] == 92.7
+
+
+# --- registry ----------------------------------------------------------------
+
+
+def test_ablations_registered_eagerly():
+    ids = available_experiments()
+    assert "abl_bypass" in ids and "extended_baselines" in ids
+    assert "fig6" in ids and "tab7" in ids
+
+
+def test_every_paper_figure_has_a_plan():
+    for experiment_id in EXPERIMENTS:
+        if experiment_id.startswith(("fig", "tab")):
+            assert get_plan(experiment_id) is not None, experiment_id
+
+
+def test_register_experiment_roundtrip():
+    marker = object()
+
+    def custom(runner):
+        return marker
+
+    register_experiment("custom_test_exp", custom)
+    try:
+        assert "custom_test_exp" in available_experiments()
+        from repro.experiments import run_experiment
+
+        assert run_experiment("custom_test_exp", Runner(MICRO)) is marker
+    finally:
+        EXPERIMENTS.pop("custom_test_exp", None)
+        PLANS.pop("custom_test_exp", None)
+
+
+# --- runner/engine sharing ---------------------------------------------------
+
+
+def test_runner_baseline_goes_through_engine():
+    runner = Runner(MICRO)
+    key, traces = runner.make_homogeneous("hmmer06", 2)
+    runner.baseline(key, traces)
+    assert runner.engine.stats.executed == 1
+    # The figure plan for the same (mix, lru) job is now a memo hit.
+    job = job_for(MICRO, MixSpec.homogeneous("hmmer06", 2), "lru")
+    runner.engine.run_jobs([job])
+    assert runner.engine.stats.memo_hits == 1
+
+
+def test_limit_workloads_even_spread_includes_first():
+    scale = ExperimentScale(workload_limit=4)
+    names = [f"w{i}" for i in range(10)]
+    limited = scale.limit_workloads(names)
+    assert len(limited) == 4
+    assert limited[0] == "w0"
+    assert limited == sorted(limited, key=names.index)  # preserves order
+    assert len(set(limited)) == 4
+
+
+def test_limit_workloads_cap_above_length_keeps_all():
+    scale = ExperimentScale(workload_limit=99)
+    names = ["a", "b", "c"]
+    assert scale.limit_workloads(names) == names
+
+
+# --- CLI ---------------------------------------------------------------------
+
+
+def test_cli_run_fig6_parallel_smoke(capsys):
+    code = main(
+        [
+            "run",
+            "fig6",
+            "--jobs",
+            "2",
+            "--quiet",
+            "--scale",
+            str(1 / 64),
+            "--accesses",
+            "250",
+            "--warmup",
+            "50",
+            "--workloads",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "geomean" in out
+
+
+def test_cli_cache_dir_warm_rerun(tmp_path, capsys):
+    argv = [
+        "run",
+        "fig15",
+        "--jobs",
+        "1",
+        "--cache-dir",
+        str(tmp_path),
+        "--scale",
+        str(1 / 64),
+        "--accesses",
+        "200",
+        "--warmup",
+        "40",
+        "--workloads",
+        "1",
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr()
+    assert main(argv) == 0
+    second = capsys.readouterr()
+    assert second.out.split("[fig15 took")[0] == first.out.split("[fig15 took")[0]
+    assert "0 simulated" in second.err
+
+
+def test_cli_rejects_bad_jobs(capsys):
+    assert main(["run", "fig6", "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err

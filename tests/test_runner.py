@@ -29,6 +29,55 @@ def test_scale_from_env(monkeypatch):
     assert scale.workload_limit == 0
 
 
+def test_env_typo_raises_clear_error(monkeypatch):
+    monkeypatch.setenv("REPRO_ACCESSES", "24k")
+    with pytest.raises(ValueError, match="REPRO_ACCESSES"):
+        ExperimentScale.from_env()
+
+
+def test_env_bad_float_raises_clear_error(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "1/16")
+    with pytest.raises(ValueError, match="REPRO_SCALE"):
+        ExperimentScale.from_env()
+
+
+def test_env_rejects_non_positive(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "-0.5")
+    with pytest.raises(ValueError, match="REPRO_SCALE"):
+        ExperimentScale.from_env()
+    monkeypatch.delenv("REPRO_SCALE")
+    monkeypatch.setenv("REPRO_ACCESSES", "0")
+    with pytest.raises(ValueError, match="REPRO_ACCESSES"):
+        ExperimentScale.from_env()
+
+
+def test_env_zero_workloads_means_all(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKLOADS", "0")
+    assert ExperimentScale.from_env().workload_limit == 0
+    monkeypatch.setenv("REPRO_WORKLOADS", "-1")
+    with pytest.raises(ValueError, match="REPRO_WORKLOADS"):
+        ExperimentScale.from_env()
+
+
+def test_env_empty_string_means_unset(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "")
+    assert ExperimentScale.from_env().machine_scale == ExperimentScale().machine_scale
+
+
+def test_with_overrides_ignores_none():
+    base = ExperimentScale()
+    same = base.with_overrides(machine_scale=None, accesses_per_core=None)
+    assert same == base
+    changed = base.with_overrides(machine_scale=0.5, workload_limit=None)
+    assert changed.machine_scale == 0.5
+    assert changed.workload_limit == base.workload_limit
+
+
+def test_with_overrides_rejects_unknown_field():
+    with pytest.raises(TypeError):
+        ExperimentScale().with_overrides(not_a_field=3)
+
+
 def test_limit_workloads_even_spread():
     scale = ExperimentScale(workload_limit=3)
     names = [f"w{i}" for i in range(9)]
