@@ -27,7 +27,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional, Sequence, Tuple
 
-from ..sim.access import WRITEBACK, AccessInfo
+from ..sim.access import AccessInfo
 from ..sim.block import CacheBlock
 from ..sim.camat import CAMATMonitor
 from ..sim.replacement.base import ReplacementPolicy
@@ -58,6 +58,11 @@ class ChromePolicy(ReplacementPolicy):
         self.qtable = QTable(self.features.num_features, self.config)
         self.eq = EvaluationQueue(self.config.sampled_sets, self.config.eq_fifo_size)
         self._rng = random.Random(self.config.seed)
+        # Hot-path hoists: the bound RNG method and the (construction-
+        # time) exploration rate, saving attribute chains per decision.
+        self._rand = self._rng.random
+        self._epsilon = self.config.epsilon
+        self._rewards = self.config.rewards
         # Legal-action orderings (first element wins arg-max ties);
         # instance attributes so variants/ablations can reorder them.
         self._miss_actions: Tuple[int, ...] = MISS_ACTIONS
@@ -96,9 +101,9 @@ class ChromePolicy(ReplacementPolicy):
             self.sampled_accesses += 1
             # Lines 3-8: reward a matching earlier action.
             entry = self.eq.find(queue_idx, hashed)
-            if entry is not None and not entry.has_reward:
+            if entry is not None and entry.reward is None:
                 self.eq.reward_matches += 1
-                rewards = self.config.rewards
+                rewards = self._rewards
                 if hit:
                     entry.reward = rewards.accurate(info.is_prefetch)
                 else:
@@ -106,17 +111,13 @@ class ChromePolicy(ReplacementPolicy):
 
         # Line 9: extract the state vector.
         state = self.features.extract(
-            pc=info.pc,
-            address=info.address,
-            core=info.core,
-            hit=hit,
-            is_prefetch=info.is_prefetch,
+            info.pc, info.address, info.core, hit, info.is_prefetch
         )
 
         # Lines 10-19: epsilon-greedy action selection over legal actions.
         legal = self._hit_actions if hit else self._miss_actions
         self.decisions += 1
-        if self._rng.random() < self.config.epsilon:
+        if self._rand() < self._epsilon:
             action = legal[self._rng.randrange(len(legal))]
             self.explorations += 1
         else:
@@ -142,7 +143,7 @@ class ChromePolicy(ReplacementPolicy):
         """NR rewards (lines 24-34): praise actions that de-prioritized a
         block nobody asked for again, penalize actions that retained it;
         magnitudes scale with the acting core's LLC obstruction."""
-        rewards = self.config.rewards
+        rewards = self._rewards
         obstructed = (
             self._camat.is_obstructed(entry.core) if self._camat is not None else False
         )
@@ -176,7 +177,7 @@ class ChromePolicy(ReplacementPolicy):
         return False
 
     def on_fill(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
-        if info.type == WRITEBACK:
+        if info.is_writeback:
             # Writebacks are not RL-managed: park them at highest priority.
             blocks[way].epv = EPV_MAX
             return
@@ -188,21 +189,30 @@ class ChromePolicy(ReplacementPolicy):
             blocks[way].epv = EPV_MAX
 
     def on_hit(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
-        if info.type == WRITEBACK:
+        if info.is_writeback:
             return
         action = self._decide(info, hit=True)
         blocks[way].epv = ACTION_TO_EPV[action]
 
     def find_victim(self, info: AccessInfo, blocks: Sequence[CacheBlock]) -> int:
         """Highest EPV first; LRU among equals."""
+        first = blocks[0]
         best_way = 0
-        best_epv = -1
-        best_touch = float("inf")
+        best_epv = first.epv
+        best_touch = first.last_touch
+        # Enumerate from way 0: the self-comparison is a no-op (equal EPV,
+        # equal touch), and iterating beats indexing on this 16-wide scan.
         for way, block in enumerate(blocks):
-            if block.epv > best_epv or (
-                block.epv == best_epv and block.last_touch < best_touch
-            ):
-                best_way, best_epv, best_touch = way, block.epv, block.last_touch
+            epv = block.epv
+            if epv > best_epv:
+                best_way = way
+                best_epv = epv
+                best_touch = block.last_touch
+            elif epv == best_epv:
+                touch = block.last_touch
+                if touch < best_touch:
+                    best_way = way
+                    best_touch = touch
         return best_way
 
     # --- reporting ---------------------------------------------------------------

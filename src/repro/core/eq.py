@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..sim.address import fold_hash
 
@@ -52,18 +52,34 @@ class EQEntry:
 class EvaluationQueue:
     """Per-sampled-set FIFO queues of recent CHROME actions."""
 
+    __slots__ = (
+        "num_queues",
+        "fifo_size",
+        "_queues",
+        "_addr_counts",
+        "inserts",
+        "evictions",
+        "reward_matches",
+    )
+
     def __init__(self, num_queues: int, fifo_size: int) -> None:
         if fifo_size <= 1:
             raise ValueError("EQ FIFOs need at least 2 entries for SARSA pairs")
         self.num_queues = num_queues
         self.fifo_size = fifo_size
         self._queues: List[Deque[EQEntry]] = [deque() for _ in range(num_queues)]
+        # Per-queue hashed-address multiset: find() can prove "no match"
+        # without scanning the FIFO (the common case — most accesses are
+        # not re-requests of a recently recorded action).
+        self._addr_counts: List[Dict[int, int]] = [{} for _ in range(num_queues)]
         self.inserts = 0
         self.evictions = 0
         self.reward_matches = 0
 
     def find(self, queue_idx: int, hashed_addr: int) -> Optional[EQEntry]:
         """Newest-first search for an entry recorded for this address."""
+        if hashed_addr not in self._addr_counts[queue_idx]:
+            return None
         queue = self._queues[queue_idx]
         for entry in reversed(queue):
             if entry.hashed_addr == hashed_addr:
@@ -79,12 +95,21 @@ class EvaluationQueue:
         ``(None, None)`` when the queue had room.
         """
         queue = self._queues[queue_idx]
+        counts = self._addr_counts[queue_idx]
         self.inserts += 1
         evicted = None
         if len(queue) >= self.fifo_size:
             evicted = queue.popleft()
             self.evictions += 1
+            gone = evicted.hashed_addr
+            remaining = counts[gone] - 1
+            if remaining:
+                counts[gone] = remaining
+            else:
+                del counts[gone]
         queue.append(entry)
+        added = entry.hashed_addr
+        counts[added] = counts.get(added, 0) + 1
         head = queue[0] if evicted is not None else None
         return evicted, head
 

@@ -134,7 +134,7 @@ _HISTORY_FEATURES = frozenset({"pc_seq", "delta", "delta_seq", "pc_delta"})
 _CACHE_LIMIT = 1 << 20
 
 
-@dataclass
+@dataclass(slots=True)
 class FeatureExtractor:
     """Builds CHROME's state vector from a configured feature list.
 
@@ -151,8 +151,10 @@ class FeatureExtractor:
     _addr_history: Dict[int, List[int]] = field(default_factory=dict)
     _needs_history: bool = False
     _default_fast: bool = False
-    _pc_sig_cache: Dict[Tuple[int, int, bool, bool], int] = field(default_factory=dict)
-    _page_cache: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: memo caches keyed by packed ints (see extract) — no per-lookup
+    #: tuple allocation on the hot path
+    _pc_sig_cache: Dict[int, int] = field(default_factory=dict)
+    _page_cache: Dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         unknown = [n for n in self.feature_names if n not in FEATURE_REGISTRY]
@@ -164,24 +166,18 @@ class FeatureExtractor:
         self._needs_history = any(n in _HISTORY_FEATURES for n in self.feature_names)
         self._default_fast = tuple(self.feature_names) == ("pc_sig", "page")
 
-    def _pc_sig(self, pc: int, core: int, hit: bool, is_prefetch: bool) -> int:
-        key = (pc, core, hit, is_prefetch)
-        value = self._pc_sig_cache.get(key)
-        if value is None:
-            ctx = FeatureContext(pc, 0, core, hit, is_prefetch)
-            value = pc_signature(ctx)
-            if len(self._pc_sig_cache) < _CACHE_LIMIT:
-                self._pc_sig_cache[key] = value
+    def _pc_sig_fill(
+        self, key: int, pc: int, core: int, hit: bool, is_prefetch: bool
+    ) -> int:
+        value = pc_signature(FeatureContext(pc, 0, core, hit, is_prefetch))
+        if len(self._pc_sig_cache) < _CACHE_LIMIT:
+            self._pc_sig_cache[key] = value
         return value
 
-    def _page(self, address: int, core: int) -> int:
-        key = (address >> 12, core)
-        value = self._page_cache.get(key)
-        if value is None:
-            ctx = FeatureContext(0, address, core, False, False)
-            value = page_number_feature(ctx)
-            if len(self._page_cache) < _CACHE_LIMIT:
-                self._page_cache[key] = value
+    def _page_fill(self, key: int, address: int, core: int) -> int:
+        value = page_number_feature(FeatureContext(0, address, core, False, False))
+        if len(self._page_cache) < _CACHE_LIMIT:
+            self._page_cache[key] = value
         return value
 
     def extract(
@@ -189,10 +185,19 @@ class FeatureExtractor:
     ) -> Tuple[int, ...]:
         """Return the state vector for one LLC access and update history."""
         if self._default_fast:
-            return (
-                self._pc_sig(pc, core, hit, is_prefetch),
-                self._page(address, core),
+            # Packed int keys: unique while core < 2**32; the two flag
+            # bits sit below the core field.
+            sig_key = (((pc << 32) | core) << 2) | (hit << 1) | (
+                1 if is_prefetch else 0
             )
+            sig = self._pc_sig_cache.get(sig_key)
+            if sig is None:
+                sig = self._pc_sig_fill(sig_key, pc, core, hit, is_prefetch)
+            page_key = ((address >> 12) << 32) | core
+            page = self._page_cache.get(page_key)
+            if page is None:
+                page = self._page_fill(page_key, address, core)
+            return (sig, page)
         if self._needs_history:
             pcs = self._pc_history.setdefault(core, [])
             addrs = self._addr_history.setdefault(core, [])

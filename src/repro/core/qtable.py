@@ -47,6 +47,21 @@ _SUBTABLE_XOR = (
 class QTable:
     """Q-value storage for all observed feature-action pairs."""
 
+    __slots__ = (
+        "config",
+        "num_features",
+        "num_subtables",
+        "rows",
+        "_row_mask",
+        "_quantum",
+        "_clamp",
+        "_tables",
+        "_index_cache",
+        "_row_caches",
+        "lookups",
+        "updates",
+    )
+
     def __init__(self, num_features: int, config: ChromeConfig) -> None:
         if config.num_subtables > len(_SUBTABLE_XOR):
             raise ValueError(f"at most {len(_SUBTABLE_XOR)} sub-tables supported")
@@ -73,9 +88,13 @@ class QTable:
         # feature value -> per-sub-table row indices (hashing is pure, so
         # the cache is exact; it is bounded by the feature bit-widths).
         self._index_cache: Dict[int, Tuple[int, ...]] = {}
-        # (feature, value) -> live references to its sub-table rows; rows
-        # are mutated in place by apply_delta, so the cache stays valid.
-        self._row_cache: Dict[Tuple[int, int], Tuple[List[float], ...]] = {}
+        # Per-feature: value -> live references to its sub-table rows;
+        # rows are mutated in place by apply_delta, so the caches stay
+        # valid.  One dict per feature keeps the keys plain ints (no
+        # tuple allocation per lookup on the hot path).
+        self._row_caches: List[Dict[int, Tuple[List[float], ...]]] = [
+            {} for _ in range(num_features)
+        ]
         self.lookups = 0
         self.updates = 0
 
@@ -96,15 +115,15 @@ class QTable:
     # --- lookup (stages 3-5) ------------------------------------------------------
 
     def _rows_for(self, feature_idx: int, feature_value: int) -> Tuple[List[float], ...]:
-        key = (feature_idx, feature_value)
-        rows = self._row_cache.get(key)
+        cache = self._row_caches[feature_idx]
+        rows = cache.get(feature_value)
         if rows is None:
             tables = self._tables[feature_idx]
             rows = tuple(
                 tables[k][idx] for k, idx in enumerate(self._row_indices(feature_value))
             )
-            if len(self._row_cache) < (1 << 21):
-                self._row_cache[key] = rows
+            if len(cache) < (1 << 20):
+                cache[feature_value] = rows
         return rows
 
     def feature_q_values(self, feature_idx: int, feature_value: int) -> List[float]:
@@ -118,8 +137,57 @@ class QTable:
         return acc
 
     def q_values(self, state: Sequence[int]) -> List[float]:
-        """Q(S, A) for every action: max over the state's features."""
+        """Q(S, A) for every action: max over the state's features.
+
+        Fused read path: walks each feature's sub-table rows once,
+        accumulating the per-action sums in scalars and folding the
+        feature-max in place — no intermediate per-feature lists.  The
+        accumulation order matches :meth:`feature_q_values` exactly, so
+        results are bit-identical to the unfused form.
+        """
         self.lookups += 1
+        if NUM_ACTIONS == 4:
+            row_caches = self._row_caches
+            value = state[0]
+            rows = row_caches[0].get(value)
+            if rows is None:
+                rows = self._rows_for(0, value)
+            first = rows[0]
+            b0 = first[0]
+            b1 = first[1]
+            b2 = first[2]
+            b3 = first[3]
+            for k in range(1, len(rows)):
+                row = rows[k]
+                b0 += row[0]
+                b1 += row[1]
+                b2 += row[2]
+                b3 += row[3]
+            for f in range(1, self.num_features):
+                value = state[f]
+                rows = row_caches[f].get(value)
+                if rows is None:
+                    rows = self._rows_for(f, value)
+                first = rows[0]
+                a0 = first[0]
+                a1 = first[1]
+                a2 = first[2]
+                a3 = first[3]
+                for k in range(1, len(rows)):
+                    row = rows[k]
+                    a0 += row[0]
+                    a1 += row[1]
+                    a2 += row[2]
+                    a3 += row[3]
+                if a0 > b0:
+                    b0 = a0
+                if a1 > b1:
+                    b1 = a1
+                if a2 > b2:
+                    b2 = a2
+                if a3 > b3:
+                    b3 = a3
+            return [b0, b1, b2, b3]
         best = self.feature_q_values(0, state[0])
         for f in range(1, self.num_features):
             other = self.feature_q_values(f, state[f])
@@ -129,10 +197,121 @@ class QTable:
         return best
 
     def q(self, state: Sequence[int], action: int) -> float:
-        return self.q_values(state)[action]
+        """Q(S, a) for one action, without materializing the full row.
+
+        Sums only the requested action's column per feature (same
+        accumulation order as :meth:`q_values`, so bit-identical) and
+        takes the max across features.
+        """
+        self.lookups += 1
+        rows_for = self._rows_for
+        best: float | None = None
+        for f in range(self.num_features):
+            rows = rows_for(f, state[f])
+            if len(rows) == 4:  # default sub-table count, unrolled
+                total = rows[0][action] + rows[1][action] + rows[2][action] + rows[3][action]
+            else:
+                total = rows[0][action]
+                for k in range(1, len(rows)):
+                    total += rows[k][action]
+            if best is None or total > best:
+                best = total
+        assert best is not None
+        return best
 
     def best_action(self, state: Sequence[int], legal: Sequence[int]) -> int:
-        """Arg-max over legal actions (fixed-order tie-break)."""
+        """Arg-max over legal actions (fixed-order tie-break).
+
+        The 4-action case fuses the :meth:`q_values` accumulation with
+        the arg-max (same order, bit-identical results) so the decision
+        costs one frame and no intermediate list.
+        """
+        if NUM_ACTIONS == 4:
+            self.lookups += 1
+            row_caches = self._row_caches
+            value = state[0]
+            rows = row_caches[0].get(value)
+            if rows is None:
+                rows = self._rows_for(0, value)
+            if len(rows) == 4:  # default sub-table count, fully unrolled
+                # Left-associative sums: same accumulation order as the
+                # loop form below, so results stay bit-identical.
+                r0, r1, r2, r3 = rows
+                b0 = r0[0] + r1[0] + r2[0] + r3[0]
+                b1 = r0[1] + r1[1] + r2[1] + r3[1]
+                b2 = r0[2] + r1[2] + r2[2] + r3[2]
+                b3 = r0[3] + r1[3] + r2[3] + r3[3]
+                for f in range(1, self.num_features):
+                    value = state[f]
+                    rows = row_caches[f].get(value)
+                    if rows is None:
+                        rows = self._rows_for(f, value)
+                    r0, r1, r2, r3 = rows
+                    a0 = r0[0] + r1[0] + r2[0] + r3[0]
+                    a1 = r0[1] + r1[1] + r2[1] + r3[1]
+                    a2 = r0[2] + r1[2] + r2[2] + r3[2]
+                    a3 = r0[3] + r1[3] + r2[3] + r3[3]
+                    if a0 > b0:
+                        b0 = a0
+                    if a1 > b1:
+                        b1 = a1
+                    if a2 > b2:
+                        b2 = a2
+                    if a3 > b3:
+                        b3 = a3
+                values = (b0, b1, b2, b3)
+                best_action = legal[0]
+                best_value = values[best_action]
+                for action in legal[1:]:
+                    v = values[action]
+                    if v > best_value:
+                        best_action = action
+                        best_value = v
+                return best_action
+            first = rows[0]
+            b0 = first[0]
+            b1 = first[1]
+            b2 = first[2]
+            b3 = first[3]
+            for k in range(1, len(rows)):
+                row = rows[k]
+                b0 += row[0]
+                b1 += row[1]
+                b2 += row[2]
+                b3 += row[3]
+            for f in range(1, self.num_features):
+                value = state[f]
+                rows = row_caches[f].get(value)
+                if rows is None:
+                    rows = self._rows_for(f, value)
+                first = rows[0]
+                a0 = first[0]
+                a1 = first[1]
+                a2 = first[2]
+                a3 = first[3]
+                for k in range(1, len(rows)):
+                    row = rows[k]
+                    a0 += row[0]
+                    a1 += row[1]
+                    a2 += row[2]
+                    a3 += row[3]
+                if a0 > b0:
+                    b0 = a0
+                if a1 > b1:
+                    b1 = a1
+                if a2 > b2:
+                    b2 = a2
+                if a3 > b3:
+                    b3 = a3
+            values = (b0, b1, b2, b3)
+            best_action = legal[0]
+            best_value = values[best_action]
+            for action in legal[1:]:
+                v = values[action]
+                if v > best_value:
+                    best_action = action
+                    best_value = v
+            return best_action
         values = self.q_values(state)
         best_action, best_value = legal[0], values[legal[0]]
         for action in legal[1:]:
@@ -154,8 +333,9 @@ class QTable:
         share = delta / self.num_subtables
         lo, hi = self._clamp
         q = self._quantum
+        rows_for = self._rows_for
         for f in range(self.num_features):
-            for row in self._rows_for(f, state[f]):
+            for row in rows_for(f, state[f]):
                 value = row[action] + share
                 value = round(value / q) * q
                 if value < lo:
@@ -178,17 +358,32 @@ class QTable:
         )
 
     def snapshot_stats(self) -> dict:
-        values = [
-            v
-            for feature in self._tables
-            for subtable in feature
-            for row in subtable
-            for v in row
-        ]
+        """Streaming min/max/mean over every stored Q-value.
+
+        Walks the tables row by row instead of materializing the full
+        value list (features x sub-tables x rows x actions floats); the
+        accumulation visits values in the same order as the old
+        list-comprehension form, so the mean is bit-identical.
+        """
+        q_min = q_max = None
+        total = 0.0
+        count = 0
+        for feature in self._tables:
+            for subtable in feature:
+                for row in subtable:
+                    for v in row:
+                        total += v
+                        if q_min is None:
+                            q_min = q_max = v
+                        elif v < q_min:
+                            q_min = v
+                        elif v > q_max:
+                            q_max = v
+                    count += len(row)
         return {
             "lookups": self.lookups,
             "updates": self.updates,
-            "q_min": min(values),
-            "q_max": max(values),
-            "q_mean": sum(values) / len(values),
+            "q_min": q_min,
+            "q_max": q_max,
+            "q_mean": total / count,
         }

@@ -5,27 +5,31 @@ the shared LLC with whichever scheme is under study.  The cache only
 resolves hits/misses, maintains block metadata, and invokes the policy
 hooks; all timing (latencies, MSHR delays, DRAM queueing) is composed
 by :mod:`repro.sim.hierarchy`.
+
+Hot-path note: set index and tag are derived with a precomputed mask
+and shift (``num_sets`` is validated to be a power of two), and the
+hit/miss counters are bumped inline from the access-type booleans —
+``CacheStats.record`` string dispatch is kept only for external
+callers.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from .access import DEMAND, PREFETCH, WRITEBACK, AccessInfo
-from .address import BLOCK_SIZE, is_power_of_two, set_index, tag_of
+from .access import AccessInfo
+from .address import BLOCK_SIZE, is_power_of_two
 from .block import CacheBlock
 from .mshr import MSHRFile
 from .replacement.base import ReplacementPolicy, oldest_way
+from .replacement.lru import LRUPolicy
 from .stats import CacheStats, LLCManagementStats
 
 
-class _TrueLRU(ReplacementPolicy):
-    """Internal true-LRU used by the private levels."""
+class _TrueLRU(LRUPolicy):
+    """Internal true-LRU used by the private levels (O(1) recency)."""
 
     name = "lru"
-
-    def find_victim(self, info: AccessInfo, blocks) -> int:
-        return oldest_way(blocks)
 
 
 class Cache:
@@ -40,6 +44,24 @@ class Cache:
         policy: replacement/bypass policy; defaults to true LRU.
         track_mgmt_stats: enable LLC-style bypass/prefetch accounting.
     """
+
+    __slots__ = (
+        "name",
+        "size_bytes",
+        "num_sets",
+        "num_ways",
+        "latency",
+        "_set_mask",
+        "_set_shift",
+        "policy",
+        "_lru_recency",
+        "mshr",
+        "stats",
+        "mgmt",
+        "_blocks",
+        "_tag_maps",
+        "_touch",
+    )
 
     def __init__(
         self,
@@ -62,8 +84,20 @@ class Cache:
         self.num_sets = num_sets
         self.num_ways = ways
         self.latency = latency
+        #: precomputed index arithmetic (num_sets is a power of two)
+        self._set_mask = num_sets - 1
+        self._set_shift = num_sets.bit_length() - 1
         self.policy = policy or _TrueLRU()
         self.policy.attach(num_sets, ways)
+        # Fast path: when the policy is *exactly* true LRU (no subclass
+        # hooks to honour), the cache updates the recency dicts inline
+        # instead of dispatching on_hit/on_fill/find_victim — LRU's
+        # on_eviction/should_bypass are the base no-ops, so skipping the
+        # calls is behaviour-identical.  Exact-type check so policy
+        # subclasses with real hooks keep the dispatch path.
+        self._lru_recency = (
+            self.policy._recency if type(self.policy) in (_TrueLRU, LRUPolicy) else None
+        )
         self.mshr = MSHRFile(mshr_entries)
         self.stats = CacheStats(name=name)
         self.mgmt = LLCManagementStats() if track_mgmt_stats else None
@@ -77,8 +111,9 @@ class Cache:
 
     def probe(self, block_addr: int) -> bool:
         """Side-effect-free presence check."""
-        s = set_index(block_addr, self.num_sets)
-        return tag_of(block_addr, self.num_sets) in self._tag_maps[s]
+        return (block_addr >> self._set_shift) in self._tag_maps[
+            block_addr & self._set_mask
+        ]
 
     def access(self, info: AccessInfo) -> Tuple[bool, bool]:
         """Look up ``info.block_addr``; update state on a hit.
@@ -86,30 +121,55 @@ class Cache:
         Returns ``(hit, first_demand_hit_on_prefetched_block)``.  The
         second flag lets the hierarchy credit the issuing prefetcher.
         """
-        s = set_index(info.block_addr, self.num_sets)
+        block_addr = info.block_addr
+        s = block_addr & self._set_mask
         info.set_index = s
-        tag = tag_of(info.block_addr, self.num_sets)
-        if self.mgmt is not None and info.type == DEMAND:
-            self.mgmt.on_demand_request(info.block_addr)
+        tag = block_addr >> self._set_shift
+        mgmt = self.mgmt
+        is_demand = info.is_demand
+        if mgmt is not None and is_demand:
+            mgmt.on_demand_request(block_addr)
         way = self._tag_maps[s].get(tag)
         hit = way is not None
         info.hit = hit
-        self.stats.record(info.type, hit)
+        stats = self.stats
+        if is_demand:
+            if hit:
+                stats.demand_hits += 1
+            else:
+                stats.demand_misses += 1
+        elif info.is_prefetch:
+            if hit:
+                stats.prefetch_hits += 1
+            else:
+                stats.prefetch_misses += 1
+        else:
+            if hit:
+                stats.writeback_hits += 1
+            else:
+                stats.writeback_misses += 1
         prefetch_first_hit = False
         if hit:
-            block = self._blocks[s][way]
+            blocks = self._blocks[s]
+            block = blocks[way]
             self._touch += 1
             block.last_touch = self._touch
             if info.is_write:
                 block.dirty = True
-            if not block.reused and info.type != WRITEBACK:
+            if not block.reused and not info.is_writeback:
                 block.reused = True
-            if block.is_prefetch and info.type == DEMAND:
+            if block.is_prefetch and is_demand:
                 block.is_prefetch = False
                 prefetch_first_hit = True
-                if self.mgmt is not None:
-                    self.mgmt.on_prefetched_block_hit()
-            self.policy.on_hit(info, self._blocks[s], way)
+                if mgmt is not None:
+                    mgmt.on_prefetched_block_hit()
+            lru = self._lru_recency
+            if lru is not None:  # inlined LRUPolicy.on_hit
+                order = lru[s]
+                order.pop(way, None)
+                order[way] = None
+            else:
+                self.policy.on_hit(info, blocks, way)
         return hit, prefetch_first_hit
 
     # --- fill / bypass ------------------------------------------------------
@@ -120,9 +180,9 @@ class Cache:
         Writebacks are always allocated (they carry dirty data that
         must land somewhere on its way to memory).
         """
-        if info.type == WRITEBACK:
+        if info.is_writeback:
             return False
-        info.set_index = set_index(info.block_addr, self.num_sets)
+        info.set_index = info.block_addr & self._set_mask
         bypass = self.policy.should_bypass(info)
         if bypass and self.mgmt is not None:
             self.mgmt.on_bypass(info.block_addr)
@@ -131,57 +191,159 @@ class Cache:
     def fill(self, info: AccessInfo, dirty: bool = False) -> Optional[Tuple[int, bool]]:
         """Install the block; return ``(evicted_block_addr, was_dirty)``
         if a valid block was displaced, else None."""
-        s = set_index(info.block_addr, self.num_sets)
+        block_addr = info.block_addr
+        s = block_addr & self._set_mask
         info.set_index = s
-        tag = tag_of(info.block_addr, self.num_sets)
+        tag = block_addr >> self._set_shift
         tag_map = self._tag_maps[s]
-        if tag in tag_map:
+        way = tag_map.get(tag)
+        if way is not None:
             # Duplicate fill (e.g. prefetch raced a demand): refresh dirtiness.
-            way = tag_map[tag]
             if dirty:
                 self._blocks[s][way].dirty = True
             return None
         blocks = self._blocks[s]
         victim_info: Optional[Tuple[int, bool]] = None
+        mgmt = self.mgmt
+        lru = self._lru_recency
         if len(tag_map) < self.num_ways:
-            way = next(w for w, b in enumerate(blocks) if not b.valid)
+            way = -1
+            for w, b in enumerate(blocks):
+                if not b.valid:
+                    way = w
+                    break
+            if way < 0:  # pragma: no cover - tag map out of sync with blocks
+                raise RuntimeError(f"{self.name}: no invalid way in underfull set {s}")
         else:
-            way = None
-        if way is None:
-            way = self.policy.find_victim(info, blocks)
-            if not 0 <= way < self.num_ways:
-                raise RuntimeError(
-                    f"{self.policy.name}: victim way {way} out of range"
+            if lru is not None:
+                # Inlined LRUPolicy.find_victim; LRU's on_eviction is the
+                # base no-op so the dispatch is skipped entirely.
+                order = lru[s]
+                way = (
+                    next(iter(order))
+                    if len(order) == self.num_ways
+                    else oldest_way(blocks)
                 )
-            victim = blocks[way]
-            self.policy.on_eviction(info, blocks, way)
-            evicted_addr = victim.tag * self.num_sets + s
+                victim = blocks[way]
+            else:
+                way = self.policy.find_victim(info, blocks)
+                if not 0 <= way < self.num_ways:
+                    raise RuntimeError(
+                        f"{self.policy.name}: victim way {way} out of range"
+                    )
+                victim = blocks[way]
+                self.policy.on_eviction(info, blocks, way)
+            evicted_addr = (victim.tag << self._set_shift) | s
             victim_info = (evicted_addr, victim.dirty)
             self.stats.evictions += 1
-            if self.mgmt is not None:
-                self.mgmt.on_eviction(
-                    evicted_addr, victim.reused, victim.is_prefetch
-                )
+            if mgmt is not None:
+                # Inlined LLCManagementStats.on_eviction (hot path;
+                # keep in sync with stats.py).
+                if victim.reused:
+                    mgmt.evicted_used += 1
+                else:
+                    mgmt.evicted_unused += 1
+                    if victim.is_prefetch:
+                        mgmt.evicted_unused_prefetch += 1
+                    pending = mgmt._pending_unused
+                    pending[evicted_addr] = pending.get(evicted_addr, 0) + 1
             del tag_map[victim.tag]
-        self._touch += 1
-        blocks[way].reset_for_fill(
-            tag=tag,
-            pc=info.pc,
-            core=info.core,
-            is_prefetch=(info.type == PREFETCH),
-            dirty=dirty or info.is_write,
-            touch=self._touch,
-        )
+        touch = self._touch + 1
+        self._touch = touch
+        # Inlined CacheBlock.reset_for_fill (hot path: one call frame saved
+        # per fill; keep the two in sync).
+        block = blocks[way]
+        block.tag = tag
+        block.valid = True
+        block.dirty = dirty or info.is_write
+        block.pc = info.pc
+        block.core = info.core
+        block.is_prefetch = info.is_prefetch
+        block.epv = 0
+        block.last_touch = touch
+        block.fill_touch = touch
+        block.reused = False
         tag_map[tag] = way
-        if self.mgmt is not None:
-            self.mgmt.on_fill(info.type == PREFETCH)
-        self.policy.on_fill(info, blocks, way)
+        if mgmt is not None:
+            # Inlined LLCManagementStats.on_fill.
+            mgmt.fills += 1
+            mgmt.incoming_blocks += 1
+            if info.is_prefetch:
+                mgmt.prefetch_fills += 1
+        if lru is not None:  # inlined LRUPolicy.on_fill
+            order = lru[s]
+            order.pop(way, None)
+            order[way] = None
+        else:
+            self.policy.on_fill(info, blocks, way)
         return victim_info
+
+    def fill_lru(self, info: AccessInfo, dirty: bool = False) -> Optional[int]:
+        """Specialized :meth:`fill` for the private-level configuration
+        (exact true LRU, no mgmt tracking): behaviour-identical, but
+        returns only what the hierarchy acts on — the evicted block
+        address when the displaced block was dirty, else ``None``.
+
+        Callers must guarantee ``_lru_recency is not None`` and
+        ``mgmt is None`` (checked once at hierarchy construction).
+        Unlike :meth:`fill` this skips the ``info.set_index`` scratch
+        write — with no policy hooks dispatched, nothing reads it.
+        Keep in sync with :meth:`fill`.
+        """
+        block_addr = info.block_addr
+        s = block_addr & self._set_mask
+        tag = block_addr >> self._set_shift
+        tag_map = self._tag_maps[s]
+        way = tag_map.get(tag)
+        blocks = self._blocks[s]
+        if way is not None:
+            if dirty:
+                blocks[way].dirty = True
+            return None
+        dirty_victim: Optional[int] = None
+        if len(tag_map) < self.num_ways:
+            way = -1
+            for w, b in enumerate(blocks):
+                if not b.valid:
+                    way = w
+                    break
+            if way < 0:  # pragma: no cover - tag map out of sync with blocks
+                raise RuntimeError(f"{self.name}: no invalid way in underfull set {s}")
+        else:
+            order = self._lru_recency[s]
+            way = (
+                next(iter(order))
+                if len(order) == self.num_ways
+                else oldest_way(blocks)
+            )
+            victim = blocks[way]
+            if victim.dirty:
+                dirty_victim = (victim.tag << self._set_shift) | s
+            self.stats.evictions += 1
+            del tag_map[victim.tag]
+        touch = self._touch + 1
+        self._touch = touch
+        block = blocks[way]
+        block.tag = tag
+        block.valid = True
+        block.dirty = dirty or info.is_write
+        block.pc = info.pc
+        block.core = info.core
+        block.is_prefetch = info.is_prefetch
+        block.epv = 0
+        block.last_touch = touch
+        block.fill_touch = touch
+        block.reused = False
+        tag_map[tag] = way
+        order = self._lru_recency[s]
+        order.pop(way, None)
+        order[way] = None
+        return dirty_victim
 
     def invalidate(self, block_addr: int) -> bool:
         """Drop a block if present (used by tests and coherence stubs)."""
-        s = set_index(block_addr, self.num_sets)
-        tag = tag_of(block_addr, self.num_sets)
+        s = block_addr & self._set_mask
+        tag = block_addr >> self._set_shift
         way = self._tag_maps[s].pop(tag, None)
         if way is None:
             return False

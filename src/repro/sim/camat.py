@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, List
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreCAMATState:
     """Per-core accumulators for the current epoch and for the whole run."""
 
@@ -36,12 +36,15 @@ class CoreCAMATState:
 
     def record(self, start: float, service: float) -> None:
         end = start + service
-        if start >= self.active_until:
+        active = self.active_until
+        if start >= active:
             added = service
-        else:
-            added = max(0.0, end - self.active_until)
-        if end > self.active_until:
             self.active_until = end
+        elif end > active:
+            added = end - active
+            self.active_until = end
+        else:
+            added = 0.0
         self.epoch_active_cycles += added
         self.total_active_cycles += added
         self.epoch_accesses += 1
@@ -66,6 +69,15 @@ class CAMATMonitor:
         epoch_cycles: observation-window length (100K cycles in the paper).
     """
 
+    __slots__ = (
+        "num_cores",
+        "t_mem",
+        "epoch_cycles",
+        "cores",
+        "_epoch_end",
+        "_listeners",
+    )
+
     def __init__(
         self, num_cores: int, t_mem: float, epoch_cycles: float = 100_000.0
     ) -> None:
@@ -79,6 +91,12 @@ class CAMATMonitor:
     def add_epoch_listener(self, listener: Callable[[List[bool]], None]) -> None:
         """Register a callback receiving obstruction flags each epoch."""
         self._listeners.append(listener)
+
+    @property
+    def epoch_end(self) -> float:
+        """End cycle of the current epoch — callers may skip
+        :meth:`maybe_close_epoch` entirely while ``now`` is below this."""
+        return self._epoch_end
 
     def record_llc_access(self, core: int, start_cycle: float, service: float) -> None:
         """Record one LLC access interval for ``core``."""

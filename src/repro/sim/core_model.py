@@ -37,6 +37,15 @@ class CoreConfig:
 class CoreTimingModel:
     """Tracks one core's instruction timeline."""
 
+    __slots__ = (
+        "config",
+        "instructions",
+        "issue_cycle",
+        "last_data_ready",
+        "_outstanding",
+        "stall_cycles",
+    )
+
     def __init__(self, config: CoreConfig | None = None) -> None:
         self.config = config or CoreConfig()
         self.instructions = 0

@@ -15,7 +15,7 @@ behaviour C-AMAT (and hence CHROME's reward shaping) observes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List
 
 
@@ -54,17 +54,15 @@ class DRAMConfig:
         return (self.row_hit_latency + self.row_miss_latency) / 2.0 + self.burst
 
 
-@dataclass
+@dataclass(slots=True)
 class _Bank:
     busy_until: float = 0.0
     row_hits: int = 0
     row_misses: int = 0
-
-    def __post_init__(self) -> None:
-        # FR-FCFS approximation: the controller batches queued requests
-        # by row, so any of the last few distinct rows served behaves
-        # like an open row for a newly arriving request.
-        self.recent_rows: list[int] = []
+    # FR-FCFS approximation: the controller batches queued requests
+    # by row, so any of the last few distinct rows served behaves
+    # like an open row for a newly arriving request.
+    recent_rows: list = field(default_factory=list)
 
     def row_is_open(self, row: int) -> bool:
         return row in self.recent_rows
@@ -80,10 +78,41 @@ class _Bank:
 class DRAMModel:
     """Bank-level main-memory timing with open-page policy."""
 
+    __slots__ = (
+        "config",
+        "_banks",
+        "_channel_busy",
+        "_chan_mask",
+        "_row_shift",
+        "_bank_count",
+        "_bank_mask",
+        "_bank_shift",
+        "_row_hit",
+        "_row_miss",
+        "_burst",
+        "reads",
+        "writes",
+    )
+
     def __init__(self, config: DRAMConfig | None = None) -> None:
         self.config = config or DRAMConfig()
         self._banks: List[_Bank] = [_Bank() for _ in range(self.config.total_banks)]
         self._channel_busy: List[float] = [0.0] * self.config.channels
+        # Precomputed geometry/timing for the access hot path.
+        cfg = self.config
+        self._chan_mask = cfg.channels - 1
+        self._row_shift = (cfg.channels.bit_length() - 1) + cfg.column_blocks_bits
+        self._bank_count = cfg.ranks_per_channel * cfg.banks_per_rank
+        # Bank interleave via shift/mask when the count is a power of two.
+        if self._bank_count & (self._bank_count - 1) == 0:
+            self._bank_mask = self._bank_count - 1
+            self._bank_shift = self._bank_count.bit_length() - 1
+        else:
+            self._bank_mask = None
+            self._bank_shift = 0
+        self._row_hit = cfg.row_hit_latency
+        self._row_miss = cfg.row_miss_latency
+        self._burst = cfg.burst
         self.reads = 0
         self.writes = 0
 
@@ -95,11 +124,9 @@ class DRAMModel:
         a row, then banks interleave, then rows — so sequential streams
         see row-buffer hits and scattered accesses see bank conflicts.
         """
-        cfg = self.config
-        channel = block_addr & (cfg.channels - 1)
-        rest = block_addr >> (cfg.channels.bit_length() - 1)
-        beyond_row = rest >> cfg.column_blocks_bits
-        bank_count = cfg.ranks_per_channel * cfg.banks_per_rank
+        channel = block_addr & self._chan_mask
+        beyond_row = block_addr >> self._row_shift
+        bank_count = self._bank_count
         bank_local = beyond_row % bank_count
         row = beyond_row // bank_count
         bank = channel * bank_count + bank_local
@@ -112,29 +139,45 @@ class DRAMModel:
         requester.  Writes occupy the bank and bus but the returned
         latency is still meaningful for writeback drain modelling.
         """
-        cfg = self.config
-        channel, bank_idx, row = self._locate(block_addr)
-        bank = self._banks[bank_idx]
+        # Inlined _locate + _Bank.row_is_open/open_row_for (hot path).
+        channel = block_addr & self._chan_mask
+        beyond_row = block_addr >> self._row_shift
+        if self._bank_mask is not None:
+            row = beyond_row >> self._bank_shift
+            bank_local = beyond_row & self._bank_mask
+        else:
+            row = beyond_row // self._bank_count
+            bank_local = beyond_row % self._bank_count
+        bank = self._banks[channel * self._bank_count + bank_local]
 
-        start = max(cycle, bank.busy_until)
+        busy = bank.busy_until
+        start = cycle if cycle > busy else busy
         if is_write:
             # Writebacks drain through the controller's write buffer,
             # which batches them by row between read bursts: charge
             # bank/bus occupancy at row-hit cost and leave the read
             # stream's open-row state undisturbed.
-            service = cfg.row_hit_latency
-        elif bank.row_is_open(row):
-            service = cfg.row_hit_latency
-            bank.row_hits += 1
-            bank.open_row_for(row)
+            service = self._row_hit
         else:
-            service = cfg.row_miss_latency
-            bank.row_misses += 1
-            bank.open_row_for(row)
+            recent = bank.recent_rows
+            if row in recent:
+                service = self._row_hit
+                bank.row_hits += 1
+                recent.remove(row)
+                recent.append(row)
+            else:
+                service = self._row_miss
+                bank.row_misses += 1
+                recent.append(row)
+                if len(recent) > 4:
+                    recent.pop(0)
         # The data bus is shared per channel but only for the burst:
         # different banks overlap their activate/CAS phases.
-        data_ready = max(start + service, self._channel_busy[channel])
-        done = data_ready + cfg.burst
+        data_ready = start + service
+        chan_busy = self._channel_busy[channel]
+        if chan_busy > data_ready:
+            data_ready = chan_busy
+        done = data_ready + self._burst
         bank.busy_until = done
         self._channel_busy[channel] = done
 
@@ -149,12 +192,18 @@ class DRAMModel:
         now — used by the hierarchy to drop prefetches under pressure
         (real prefetchers are lowest-priority and shed load when the
         memory system is saturated)."""
-        channel, bank_idx, _row = self._locate(block_addr)
-        wait = max(
-            self._banks[bank_idx].busy_until - cycle,
-            self._channel_busy[channel] - cycle,
-        )
-        return max(0.0, wait)
+        channel = block_addr & self._chan_mask
+        beyond_row = block_addr >> self._row_shift
+        if self._bank_mask is not None:
+            bank_local = beyond_row & self._bank_mask
+        else:
+            bank_local = beyond_row % self._bank_count
+        wait = self._banks[channel * self._bank_count + bank_local].busy_until
+        chan_busy = self._channel_busy[channel]
+        if chan_busy > wait:
+            wait = chan_busy
+        wait -= cycle
+        return wait if wait > 0.0 else 0.0
 
     @property
     def row_hit_rate(self) -> float:

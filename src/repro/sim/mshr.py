@@ -24,6 +24,8 @@ from typing import Dict, List, Tuple
 class MSHRFile:
     """Fixed-capacity in-flight miss tracker for one cache."""
 
+    __slots__ = ("num_entries", "_inflight", "_heap", "merges", "stalls")
+
     def __init__(self, num_entries: int) -> None:
         if num_entries <= 0:
             raise ValueError("MSHR needs at least one entry")
@@ -42,7 +44,16 @@ class MSHRFile:
 
     def lookup(self, block_addr: int, now: float) -> float | None:
         """Return the completion cycle of an in-flight miss, if any."""
-        self._expire(now)
+        # Inlined expiry (hot path): most calls find an empty or
+        # not-yet-due heap and fall straight through to the dict probe.
+        heap = self._heap
+        if heap and heap[0][0] <= now:
+            inflight = self._inflight
+            heappop = heapq.heappop
+            while heap and heap[0][0] <= now:
+                done, blk = heappop(heap)
+                if inflight.get(blk) == done:
+                    del inflight[blk]
         return self._inflight.get(block_addr)
 
     def allocate(self, block_addr: int, now: float, completion: float) -> float:
@@ -52,27 +63,37 @@ class MSHRFile:
         is full the miss is delayed until the oldest entry retires, and
         the returned completion reflects that extra queueing delay.
         """
-        self._expire(now)
-        existing = self._inflight.get(block_addr)
+        heap = self._heap
+        inflight = self._inflight
+        if heap and heap[0][0] <= now:  # inlined expiry, as in lookup()
+            heappop = heapq.heappop
+            while heap and heap[0][0] <= now:
+                done, blk = heappop(heap)
+                if inflight.get(blk) == done:
+                    del inflight[blk]
+        existing = inflight.get(block_addr)
         if existing is not None:
             self.merges += 1
             return existing
         delay = 0.0
-        if len(self._inflight) >= self.num_entries:
+        if len(inflight) >= self.num_entries:
             # Stall until the soonest-retiring entry frees a slot.
             self.stalls += 1
-            soonest = self._heap[0][0]
+            soonest = heap[0][0]
             delay = max(0.0, soonest - now)
-            self._expire(soonest)
+            while heap and heap[0][0] <= soonest:  # inlined _expire(soonest)
+                done, blk = heapq.heappop(heap)
+                if inflight.get(blk) == done:
+                    del inflight[blk]
             # If lazy-deleted entries masked real occupancy, retire greedily.
-            while len(self._inflight) >= self.num_entries and self._heap:
-                done, blk = heapq.heappop(self._heap)
-                if self._inflight.get(blk) == done:
-                    del self._inflight[blk]
+            while len(inflight) >= self.num_entries and heap:
+                done, blk = heapq.heappop(heap)
+                if inflight.get(blk) == done:
+                    del inflight[blk]
                     delay = max(delay, done - now)
         completion += delay
-        self._inflight[block_addr] = completion
-        heapq.heappush(self._heap, (completion, block_addr))
+        inflight[block_addr] = completion
+        heapq.heappush(heap, (completion, block_addr))
         return completion
 
     def remove(self, block_addr: int) -> bool:

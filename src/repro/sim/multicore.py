@@ -8,8 +8,9 @@ LLC and DRAM contention happen in (approximate) global time order.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..traces.trace import Trace
 from .cache import Cache
@@ -208,45 +209,128 @@ class MultiCoreSystem:
         reset (learning state persists, mirroring the paper's 50M-warmup
         + 200M-measured methodology at reduced scale).
         """
-        if len(traces) != self.config.num_cores:
-            raise ValueError(
-                f"need {self.config.num_cores} traces, got {len(traces)}"
-            )
-        iters = [iter(t) for t in traces]
-        executed = [0] * len(iters)
-        active = list(range(len(iters)))
-        warm_snapshots: List[Optional[tuple]] = [None] * len(iters)
+        num_cores = self.config.num_cores
+        if len(traces) != num_cores:
+            raise ValueError(f"need {num_cores} traces, got {len(traces)}")
+        # Chunked delivery: each core draws records from pre-materialized
+        # lists (Trace.iter_chunks), so the per-record cost is a list
+        # index, not a generator resumption.
+        chunk_iters = [t.iter_chunks() for t in traces]
+        buffers: List[Sequence] = [()] * num_cores
+        positions = [0] * num_cores
+        executed = [0] * num_cores
+        warm_snapshots: List[Optional[tuple]] = [None] * num_cores
         warmed = warmup_accesses == 0
         if warmed:
             warm_snapshots = [c.core.snapshot() for c in self.cores]
 
-        while active:
-            # Advance the core with the smallest progress clock.
-            idx = min(active, key=lambda i: self.cores[i].core.current_cycle)
-            record = next(iters[idx], None)
-            if record is None or (
-                max_accesses_per_core is not None
-                and executed[idx] >= max_accesses_per_core
-            ):
-                active.remove(idx)
-                if not warmed and warm_snapshots[idx] is None:
-                    # Trace ended before its warmup budget: snapshot here so
-                    # the remaining cores can still close the warmup phase.
-                    warm_snapshots[idx] = self.cores[idx].core.snapshot()
-                    if all(snapshot is not None for snapshot in warm_snapshots):
+        # Heap-based scheduler: the run loop repeatedly advances the core
+        # with the smallest progress clock.  Only the just-executed core's
+        # clock changes, so a (cycle, core_index) heap keeps selection at
+        # O(log N) per access instead of an O(N) min() scan; the index
+        # tie-break reproduces min()'s lowest-index-first choice exactly.
+        cores = self.cores
+        camat = self.camat
+        maybe_close_epoch = camat.maybe_close_epoch
+        # Epoch boundary cached locally: maybe_close_epoch's early exit
+        # is exactly `now < epoch_end`, so the call is skipped inline.
+        epoch_end = camat.epoch_end
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heap: List[Tuple[float, int]] = [
+            (cores[i].core.current_cycle, i) for i in range(num_cores)
+        ]
+        heapq.heapify(heap)
+        # Access cap as a plain comparison (inf = uncapped).
+        cap = float("inf") if max_accesses_per_core is None else max_accesses_per_core
+
+        while heap:
+            _, idx = heappop(heap)
+            hierarchy = cores[idx]
+            buffer = buffers[idx]
+            buffer_len = len(buffer)
+            position = positions[idx]
+            count = executed[idx]
+            # Run-ahead inner loop: after executing, if this core's clock
+            # is still strictly the earliest ((cycle, idx) < heap[0] —
+            # exactly the tuple the old push-then-pop would return), keep
+            # executing it without touching the heap.  With one core the
+            # heap is empty and the whole run is heap-free.
+            #
+            # CoreHierarchy.execute is inlined here (advance +
+            # complete_load around the demand walk; keep in sync with
+            # hierarchy.py/core_model.py) with the core's instruction and
+            # issue clocks hoisted into locals — they are written back
+            # before every snapshot() and when the segment ends.
+            core = hierarchy.core
+            core_cfg = core.config
+            width = core_cfg.width
+            rob_size = core_cfg.rob_size
+            hit_hidden = core_cfg.l1_hit_hidden
+            out = core._outstanding
+            instructions = core.instructions
+            issue = core.issue_cycle
+            demand_access = hierarchy._demand_access
+            while True:
+                if position >= buffer_len:
+                    buffer = next(chunk_iters[idx], None)
+                    while buffer is not None and not buffer:
+                        buffer = next(chunk_iters[idx], None)
+                    if buffer is not None:
+                        buffers[idx] = buffer
+                        buffer_len = len(buffer)
+                        position = 0
+                if buffer is None or count >= cap:
+                    # Core retires: drop it from the heap (no re-push).
+                    core.instructions = instructions
+                    core.issue_cycle = issue
+                    if not warmed and warm_snapshots[idx] is None:
+                        # Trace ended before its warmup budget: snapshot
+                        # here so the remaining cores can still close the
+                        # warmup phase.
+                        warm_snapshots[idx] = core.snapshot()
+                        if all(s is not None for s in warm_snapshots):
+                            self._reset_measured_stats()
+                            warmed = True
+                    break
+                record = buffer[position]
+                position += 1
+                gap1 = record.gap + 1
+                instructions += gap1
+                issue += gap1 / width
+                if out:
+                    # ROB back-pressure (see CoreTimingModel.advance).
+                    horizon = instructions - rob_size
+                    while out and out[0][0] <= horizon:
+                        _, ready = out.popleft()
+                        if ready > issue:
+                            core.stall_cycles += ready - issue
+                            issue = ready
+                is_write = record.is_write
+                latency = demand_access(record.pc, record.address, is_write, issue)
+                if not is_write and latency > hit_hidden:
+                    ready = issue + latency
+                    out.append((instructions, ready))
+                    if ready > core.last_data_ready:
+                        core.last_data_ready = ready
+                count += 1
+                if issue >= epoch_end:
+                    maybe_close_epoch(issue)
+                    epoch_end = camat.epoch_end
+                if not warmed and count == warmup_accesses:
+                    core.instructions = instructions
+                    core.issue_cycle = issue
+                    warm_snapshots[idx] = core.snapshot()
+                    if all(s is not None for s in warm_snapshots):
                         self._reset_measured_stats()
                         warmed = True
-                continue
-            hierarchy = self.cores[idx]
-            hierarchy.execute(record)
-            executed[idx] += 1
-            self.camat.maybe_close_epoch(hierarchy.core.current_cycle)
-
-            if not warmed and executed[idx] == warmup_accesses:
-                warm_snapshots[idx] = hierarchy.core.snapshot()
-                if all(snapshot is not None for snapshot in warm_snapshots):
-                    self._reset_measured_stats()
-                    warmed = True
+                if heap and (issue, idx) > heap[0]:
+                    core.instructions = instructions
+                    core.issue_cycle = issue
+                    heappush(heap, (issue, idx))
+                    break
+            positions[idx] = position
+            executed[idx] = count
 
         core_results = []
         for i, hierarchy in enumerate(self.cores):

@@ -18,6 +18,8 @@ class Prefetcher:
 
     name = "none"
 
+    __slots__ = ("degree", "stats")
+
     def __init__(self, degree: int = 1) -> None:
         self.degree = degree
         self.stats = PrefetcherStats()
@@ -35,3 +37,5 @@ class NullPrefetcher(Prefetcher):
     """No prefetching (the paper's 'without prefetching' configuration)."""
 
     name = "none"
+
+    __slots__ = ()

@@ -13,8 +13,13 @@ class NextLinePrefetcher(Prefetcher):
 
     name = "next_line"
 
+    __slots__ = ()
+
     def on_access(self, pc: int, address: int, hit: bool, cycle: float) -> List[int]:
         base = (address >> 6) << 6
+        if self.degree == 1:  # common case, unrolled
+            self.stats.issued += 1
+            return [base + BLOCK_SIZE]
         out = [base + BLOCK_SIZE * (i + 1) for i in range(self.degree)]
         self.stats.issued += len(out)
         return out

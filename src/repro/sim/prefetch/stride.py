@@ -7,10 +7,8 @@ confidence counter; confident strides prefetch ``degree`` lines ahead.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import List
+from typing import Dict, List
 
-from ..address import BLOCK_SIZE
 from .base import Prefetcher
 
 
@@ -19,21 +17,26 @@ class StridePrefetcher(Prefetcher):
 
     name = "stride"
 
+    __slots__ = ("table_size", "_table")
+
     def __init__(self, degree: int = 2, table_size: int = 256) -> None:
         super().__init__(degree)
         self.table_size = table_size
-        # pc -> [last_addr, stride, confidence]
-        self._table: OrderedDict[int, List[int]] = OrderedDict()
+        # pc -> [last_addr, stride, confidence]; plain dict in insertion
+        # order (move-to-end is delete + re-insert, evict the first key).
+        self._table: Dict[int, List[int]] = {}
 
     def on_access(self, pc: int, address: int, hit: bool, cycle: float) -> List[int]:
-        entry = self._table.get(pc)
+        table = self._table
+        entry = table.get(pc)
         out: List[int] = []
         if entry is None:
-            if len(self._table) >= self.table_size:
-                self._table.popitem(last=False)
-            self._table[pc] = [address, 0, 0]
+            if len(table) >= self.table_size:
+                del table[next(iter(table))]
+            table[pc] = [address, 0, 0]
             return out
-        self._table.move_to_end(pc)
+        del table[pc]
+        table[pc] = entry
         last_addr, last_stride, confidence = entry
         stride = address - last_addr
         if stride != 0:
@@ -44,12 +47,17 @@ class StridePrefetcher(Prefetcher):
                 if confidence == 0:
                     last_stride = stride
             entry[0] = address
-            entry[1] = last_stride if confidence else stride
+            winner = last_stride if confidence else stride
+            entry[1] = winner
             entry[2] = confidence
-            if confidence >= 2 and entry[1] != 0:
-                for i in range(1, self.degree + 1):
-                    out.append(address + entry[1] * i)
-                self.stats.issued += len(out)
+            if confidence >= 2 and winner != 0:
+                if self.degree == 2:  # common case, unrolled
+                    out = [address + winner, address + winner + winner]
+                    self.stats.issued += 2
+                else:
+                    for i in range(1, self.degree + 1):
+                        out.append(address + winner * i)
+                    self.stats.issued += len(out)
         else:
             entry[0] = address
         return out

@@ -13,13 +13,40 @@ class LRUPolicy(ReplacementPolicy):
     """True LRU over each set's ``last_touch`` timestamps.
 
     Recency updates happen in the cache itself (every hit and fill
-    refreshes ``last_touch``), so the policy only needs to pick the
-    stalest way.
+    refreshes ``last_touch``); the policy mirrors that order in a
+    per-set recency dict (way -> None, least-recent first) so victim
+    selection is O(1) instead of an O(ways) timestamp scan.  The dict
+    is updated at exactly the points the cache bumps ``last_touch``
+    (every hit and every fill), so its ordering *is* the timestamp
+    ordering and the chosen victim is bit-identical to ``oldest_way``.
+    When the recency dict has not seen every way of a full set (e.g. a
+    test drives ``find_victim`` directly), it falls back to the scan.
     """
 
     name = "lru"
 
+    def __init__(self) -> None:
+        super().__init__()
+        self._recency: list[dict[int, None]] = []
+
+    def attach(self, num_sets: int, num_ways: int) -> None:
+        super().attach(num_sets, num_ways)
+        self._recency = [dict() for _ in range(num_sets)]
+
+    def on_hit(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        order = self._recency[info.set_index]
+        order.pop(way, None)
+        order[way] = None
+
+    def on_fill(self, info: AccessInfo, blocks: Sequence[CacheBlock], way: int) -> None:
+        order = self._recency[info.set_index]
+        order.pop(way, None)
+        order[way] = None
+
     def find_victim(self, info: AccessInfo, blocks: Sequence[CacheBlock]) -> int:
+        order = self._recency[info.set_index] if self._recency else None
+        if order is not None and len(order) == len(blocks):
+            return next(iter(order))
         return oldest_way(blocks)
 
     def storage_overhead_bits(self) -> int:

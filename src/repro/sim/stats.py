@@ -17,9 +17,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Set
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
-    """Hit/miss accounting for a single cache level."""
+    """Hit/miss accounting for a single cache level.
+
+    ``slots=True``: these counters are bumped several times per
+    simulated access, and slot attributes are measurably cheaper than
+    ``__dict__`` lookups on that path.
+    """
 
     name: str = "cache"
     demand_hits: int = 0
@@ -58,7 +63,7 @@ class CacheStats:
                 self.writeback_misses += 1
 
 
-@dataclass
+@dataclass(slots=True)
 class LLCManagementStats:
     """Policy-facing LLC statistics (bypass / prefetch-use / reuse)."""
 
@@ -161,7 +166,7 @@ class LLCManagementStats:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetcherStats:
     """Issue/usefulness accounting for one prefetcher."""
 

@@ -46,14 +46,17 @@ def stream(
 ) -> Iterator[MemoryAccess]:
     """Sequential stream: one-pass data, prefetch-friendly, no reuse."""
     rng = random.Random(seed)
+    randint = rng.randint
+    lo, hi = gap
     pc = _pc(region, 0)
+    wrap = wrap_blocks * BLOCK_SIZE
     offset = 0
     count = 0
     while True:
-        addr = base + (offset % (wrap_blocks * BLOCK_SIZE))
+        addr = base + (offset % wrap)
         count += 1
         is_write = write_every > 0 and count % write_every == 0
-        yield MemoryAccess(pc, addr, is_write, rng.randint(*gap))
+        yield MemoryAccess(pc, addr, is_write, randint(lo, hi))
         offset += stride
 
 
@@ -68,11 +71,13 @@ def strided(
 ) -> Iterator[MemoryAccess]:
     """Repeated strided sweep over a fixed region (stencil-like reuse)."""
     rng = random.Random(seed)
+    randint = rng.randint
+    lo, hi = gap
     pc = _pc(region, 0)
     span = length_blocks * BLOCK_SIZE
     offset = 0
     while True:
-        yield MemoryAccess(pc, base + offset % span, False, rng.randint(*gap))
+        yield MemoryAccess(pc, base + offset % span, False, randint(lo, hi))
         offset += stride
 
 
@@ -92,12 +97,15 @@ def working_set_loop(
     resistant policies shine here).
     """
     rng = random.Random(seed)
+    randint = rng.randint
+    rand = rng.random
+    lo, hi = gap
     pc = _pc(region, 0)
     idx = 0
     while True:
         addr = base + (idx % ws_blocks) * BLOCK_SIZE
-        is_write = write_fraction > 0 and rng.random() < write_fraction
-        yield MemoryAccess(pc, addr, is_write, rng.randint(*gap))
+        is_write = write_fraction > 0 and rand() < write_fraction
+        yield MemoryAccess(pc, addr, is_write, randint(lo, hi))
         idx += 1
 
 
@@ -118,10 +126,12 @@ def pointer_chase(
     rng = random.Random(seed)
     perm = list(range(ws_blocks))
     rng.shuffle(perm)
+    randint = rng.randint
+    lo, hi = gap
     pc = _pc(region, 0)
     node = 0
     while True:
-        yield MemoryAccess(pc, base + node * BLOCK_SIZE, False, rng.randint(*gap))
+        yield MemoryAccess(pc, base + node * BLOCK_SIZE, False, randint(lo, hi))
         node = perm[node]
 
 
@@ -139,16 +149,20 @@ def random_region(
     """Independent random accesses over a region, optionally with a hot
     subset receiving ``hot_fraction`` of the traffic (Zipf-ish skew)."""
     rng = random.Random(seed)
+    rand = rng.random
+    randrange = rng.randrange
+    randint = rng.randint
+    lo, hi = gap
     pc_hot, pc_cold = _pc(region, 0), _pc(region, 1)
     while True:
-        if hot_blocks and rng.random() < hot_fraction:
-            block = rng.randrange(hot_blocks)
+        if hot_blocks and rand() < hot_fraction:
+            block = randrange(hot_blocks)
             pc = pc_hot
         else:
-            block = rng.randrange(region_blocks)
+            block = randrange(region_blocks)
             pc = pc_cold
-        is_write = write_fraction > 0 and rng.random() < write_fraction
-        yield MemoryAccess(pc, base + block * BLOCK_SIZE, is_write, rng.randint(*gap))
+        is_write = write_fraction > 0 and rand() < write_fraction
+        yield MemoryAccess(pc, base + block * BLOCK_SIZE, is_write, randint(lo, hi))
 
 
 def hot_plus_scan(
@@ -166,17 +180,19 @@ def hot_plus_scan(
     pattern motivating the paper's holistic view (Sec. III-A).
     """
     rng = random.Random(seed)
+    rand = rng.random
+    randrange = rng.randrange
+    randint = rng.randint
+    lo, hi = gap
     pc_hot, pc_scan = _pc(region, 0), _pc(region, 1)
     scan_base = base + hot_blocks * BLOCK_SIZE * 4
     scan_offset = 0
     while True:
-        if rng.random() < hot_fraction:
-            addr = base + rng.randrange(hot_blocks) * BLOCK_SIZE
-            yield MemoryAccess(pc_hot, addr, False, rng.randint(*gap))
+        if rand() < hot_fraction:
+            addr = base + randrange(hot_blocks) * BLOCK_SIZE
+            yield MemoryAccess(pc_hot, addr, False, randint(lo, hi))
         else:
-            yield MemoryAccess(
-                pc_scan, scan_base + scan_offset, False, rng.randint(*gap)
-            )
+            yield MemoryAccess(pc_scan, scan_base + scan_offset, False, randint(lo, hi))
             scan_offset += BLOCK_SIZE
 
 
@@ -192,13 +208,18 @@ def multi_stream(
 ) -> Iterator[MemoryAccess]:
     """Several interleaved sequential streams (array-sweep codes)."""
     rng = random.Random(seed)
+    randrange = rng.randrange
+    randint = rng.randint
+    lo, hi = gap
     offsets = [0] * num_streams
+    pcs = [_pc(region, s) for s in range(num_streams)]
+    spacing = stream_spacing_blocks * BLOCK_SIZE
     while True:
-        s = rng.randrange(num_streams)
-        addr = base + s * stream_spacing_blocks * BLOCK_SIZE + offsets[s]
+        s = randrange(num_streams)
+        addr = base + s * spacing + offsets[s]
         offsets[s] += BLOCK_SIZE
         is_write = s < write_streams
-        yield MemoryAccess(_pc(region, s), addr, is_write, rng.randint(*gap))
+        yield MemoryAccess(pcs[s], addr, is_write, randint(lo, hi))
 
 
 # --- composition -----------------------------------------------------------
@@ -213,15 +234,17 @@ def interleave(
     if len(components) != len(weights):
         raise ValueError("one weight per component required")
     rng = random.Random(seed)
+    rand = rng.random
     total = sum(weights)
     cumulative: List[float] = []
     acc = 0.0
     for w in weights:
         acc += w / total
         cumulative.append(acc)
+    pairs = list(zip(cumulative, components))
     while True:
-        r = rng.random()
-        for component, bound in zip(components, cumulative):
+        r = rand()
+        for bound, component in pairs:
             if r <= bound:
                 yield next(component)
                 break

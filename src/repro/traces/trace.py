@@ -7,12 +7,25 @@ store, and how many non-memory instructions preceded it since the last
 memory instruction).  This mirrors the information content of a
 ChampSim/DPC-3 trace record, which is what the paper's evaluation
 consumes.
+
+Delivery model: the run loop consumes traces through
+:meth:`Trace.iter_chunks`, which yields pre-materialized lists of
+records so the per-record cost is a plain list index instead of a
+generator resumption.  ``with_address_offset`` and ``truncated`` are
+*views* — composing them folds the offset/limit into one transform
+layer instead of stacking generator wrappers, so a truncated, offset
+copy of a trace still pays only one pass over the base records.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, List, Sequence
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+#: records per chunk handed to the run loop; large enough to amortize
+#: the per-chunk call, small enough to stay cache- and memory-friendly
+CHUNK_SIZE = 4096
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,27 +52,98 @@ class MemoryAccess:
 class Trace:
     """A named, finite sequence of memory accesses.
 
-    Traces can either be fully materialized (``records``) or produced
-    lazily from a generator factory (``factory``), which keeps very
-    long benchmark traces out of memory.  Iterating a factory-backed
-    trace always restarts it from the beginning, so a single Trace can
-    be replayed for every policy under comparison.
+    Traces come in three flavours:
+
+    * **materialized** (``records``) — all records in memory;
+    * **factory-backed** (``factory``) — produced lazily from a
+      generator factory, which keeps very long benchmark traces out of
+      memory; iterating always restarts from the beginning, so a single
+      Trace can be replayed for every policy under comparison;
+    * **views** (``base`` + ``address_offset``/``limit``) — a
+      lazily-applied address shift and/or truncation of another trace.
+      Views compose flat: offsetting or truncating a view produces a
+      new single-layer view over the original base, never a stack of
+      generator wrappers.
     """
 
     name: str
     records: Sequence[MemoryAccess] | None = None
     factory: Callable[[], Iterator[MemoryAccess]] | None = None
     metadata: dict = field(default_factory=dict)
+    #: view parameters — when ``base`` is set, this trace is ``base``
+    #: with every address shifted by ``address_offset``, truncated to
+    #: the first ``limit`` records (``None`` = unlimited).
+    base: Optional["Trace"] = None
+    address_offset: int = 0
+    limit: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if (self.records is None) == (self.factory is None):
-            raise ValueError("exactly one of records/factory must be given")
+        sources = sum(
+            1 for source in (self.records, self.factory, self.base) if source is not None
+        )
+        if sources != 1:
+            raise ValueError("exactly one of records/factory/base must be given")
+
+    # --- iteration ---------------------------------------------------------
 
     def __iter__(self) -> Iterator[MemoryAccess]:
         if self.records is not None:
             return iter(self.records)
+        if self.base is not None:
+            return self._view_iter()
         assert self.factory is not None
         return self.factory()
+
+    def _view_iter(self) -> Iterator[MemoryAccess]:
+        """One generator applying the whole offset+limit transform."""
+        offset = self.address_offset
+        source: Iterable[MemoryAccess] = self.base  # type: ignore[assignment]
+        if self.limit is not None:
+            source = itertools.islice(iter(source), self.limit)
+        if offset == 0:
+            yield from source
+        else:
+            for rec in source:
+                yield MemoryAccess(rec.pc, rec.address + offset, rec.is_write, rec.gap)
+
+    def iter_chunks(self, chunk_size: int = CHUNK_SIZE) -> Iterator[Sequence[MemoryAccess]]:
+        """Yield the trace as pre-materialized record chunks.
+
+        The run loop iterates these lists directly, which removes a
+        generator resumption (and, for views, a wrapper frame) from the
+        per-record hot path.  Chunks must not be mutated; the last one
+        may be shorter than ``chunk_size``.
+        """
+        if self.records is not None:
+            records = self.records
+            for start in range(0, len(records), chunk_size):
+                yield records[start : start + chunk_size]
+        elif self.base is not None:
+            offset = self.address_offset
+            remaining = self.limit
+            for chunk in self.base.iter_chunks(chunk_size):
+                if remaining is not None:
+                    if remaining <= 0:
+                        return
+                    if len(chunk) > remaining:
+                        chunk = chunk[:remaining]
+                    remaining -= len(chunk)
+                if offset:
+                    chunk = [
+                        MemoryAccess(r.pc, r.address + offset, r.is_write, r.gap)
+                        for r in chunk
+                    ]
+                yield chunk
+        else:
+            assert self.factory is not None
+            source = self.factory()
+            while True:
+                chunk = list(itertools.islice(source, chunk_size))
+                if not chunk:
+                    return
+                yield chunk
+
+    # --- materialization / sizing -----------------------------------------
 
     def materialize(self) -> "Trace":
         """Return an equivalent trace with all records in memory."""
@@ -68,12 +152,21 @@ class Trace:
         return Trace(name=self.name, records=list(self), metadata=dict(self.metadata))
 
     def __len__(self) -> int:
-        if self.records is None:
-            raise TypeError(
-                f"trace {self.name!r} is lazily generated; materialize() it "
-                "before asking for its length"
-            )
-        return len(self.records)
+        if self.records is not None:
+            return len(self.records)
+        if self.base is not None:
+            try:
+                base_len = len(self.base)
+            except TypeError:
+                pass
+            else:
+                return base_len if self.limit is None else min(base_len, self.limit)
+        raise TypeError(
+            f"trace {self.name!r} is lazily generated; materialize() it "
+            "before asking for its length"
+        )
+
+    # --- derived traces -----------------------------------------------------
 
     def with_address_offset(self, offset: int) -> "Trace":
         """Return a copy whose addresses live in a shifted address space.
@@ -83,31 +176,46 @@ class Trace:
         reproduces ChampSim's behaviour where each core has a private
         address space and copies do not alias in the shared LLC.
         """
-        base = self
-
-        def shifted() -> Iterator[MemoryAccess]:
-            for rec in base:
-                yield MemoryAccess(rec.pc, rec.address + offset, rec.is_write, rec.gap)
-
+        name = f"{self.name}@+{offset:#x}"
+        if self.base is not None:
+            return Trace(
+                name=name,
+                base=self.base,
+                address_offset=self.address_offset + offset,
+                limit=self.limit,
+                metadata=dict(self.metadata),
+            )
         return Trace(
-            name=f"{self.name}@+{offset:#x}",
-            factory=shifted,
+            name=name,
+            base=self,
+            address_offset=offset,
             metadata=dict(self.metadata),
         )
 
     def truncated(self, max_records: int) -> "Trace":
         """Return a copy that yields at most ``max_records`` accesses."""
-        base = self
-
-        def limited() -> Iterator[MemoryAccess]:
-            for i, rec in enumerate(base):
-                if i >= max_records:
-                    return
-                yield rec
-
+        if self.records is not None:
+            # Materialized: slice directly (keeps __len__ and random access).
+            return Trace(
+                name=self.name,
+                records=self.records[:max_records],
+                metadata=dict(self.metadata),
+            )
+        if self.base is not None:
+            limit = (
+                max_records if self.limit is None else min(self.limit, max_records)
+            )
+            return Trace(
+                name=self.name,
+                base=self.base,
+                address_offset=self.address_offset,
+                limit=limit,
+                metadata=dict(self.metadata),
+            )
         return Trace(
             name=self.name,
-            factory=limited,
+            base=self,
+            limit=max_records,
             metadata=dict(self.metadata),
         )
 

@@ -1,0 +1,172 @@
+"""Golden determinism guard for the simulator hot path.
+
+The hot-path overhaul (inlined access walk, heap scheduler, fused
+Q-table reads, specialized LRU fills) is only legal because it is
+*behavior-preserving*: every optimization must leave the simulated
+machine bit-identical — same hit/miss sequences, same float
+accumulation order, same RNG draws.  This test pins that property by
+running fixed-seed workloads and comparing every statistic the
+simulator reports (floats via ``repr``, so equality is byte-exact)
+against committed golden values.
+
+If a change *intentionally* alters simulated behavior, regenerate the
+goldens and explain the diff in the commit message::
+
+    PYTHONPATH=src python tests/test_golden_determinism.py --regenerate
+
+An unexplained diff here means a "pure performance" change was not
+actually behavior-preserving.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.chrome import ChromePolicy
+from repro.sim.multicore import MultiCoreSystem, SystemConfig
+from repro.sim.replacement.lru import LRUPolicy
+from repro.traces.mixes import heterogeneous_mix, homogeneous_mix
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "determinism.json"
+
+# Small machine (1/64 of Table V) so the whole suite runs in seconds;
+# the capacity ratios the policies react to are preserved.
+SCALE = 1 / 64
+
+
+def _cache_stats(stats) -> dict:
+    return {
+        "name": stats.name,
+        "demand_hits": stats.demand_hits,
+        "demand_misses": stats.demand_misses,
+        "prefetch_hits": stats.prefetch_hits,
+        "prefetch_misses": stats.prefetch_misses,
+        "writeback_hits": stats.writeback_hits,
+        "writeback_misses": stats.writeback_misses,
+        "evictions": stats.evictions,
+        "writebacks_out": stats.writebacks_out,
+    }
+
+
+def _system_stats(system: MultiCoreSystem, result) -> dict:
+    """Every stat the simulator reports, floats repr'd for exactness."""
+    mgmt = result.llc_mgmt
+    out = {
+        "policy": result.policy_name,
+        "ipcs": [repr(c.ipc) for c in result.cores],
+        "instructions": [c.instructions for c in result.cores],
+        "cycles": [repr(c.cycles) for c in result.cores],
+        "llc": _cache_stats(result.llc_stats),
+        "l1": [_cache_stats(h.l1.stats) for h in system.cores],
+        "l2": [_cache_stats(h.l2.stats) for h in system.cores],
+        "mgmt": {
+            "fills": mgmt.fills,
+            "prefetch_fills": mgmt.prefetch_fills,
+            "prefetch_fill_hits": mgmt.prefetch_fill_hits,
+            "bypasses": mgmt.bypasses,
+            "incoming_blocks": mgmt.incoming_blocks,
+            "evicted_unused": mgmt.evicted_unused,
+            "evicted_used": mgmt.evicted_used,
+            "evicted_unused_prefetch": mgmt.evicted_unused_prefetch,
+            "unused_requested_again": mgmt.unused_requested_again,
+            "bypass_mistakes": mgmt.bypass_mistakes,
+        },
+        "camat": {k: repr(v) for k, v in sorted(result.camat_summary.items())},
+        "prefetcher_accuracy": repr(result.prefetcher_accuracy),
+        "prefetch_drops": [h.prefetch_drops for h in system.cores],
+        "prefetch_filtered": [h.prefetch_filtered for h in system.cores],
+        "mshr": {
+            "llc_merges": system.llc.mshr.merges,
+            "llc_stalls": system.llc.mshr.stalls,
+            "l1_merges": [h.l1.mshr.merges for h in system.cores],
+            "l2_merges": [h.l2.mshr.merges for h in system.cores],
+        },
+    }
+    if "policy_telemetry" in result.extra:
+        out["telemetry"] = {
+            k: repr(v) for k, v in sorted(result.extra["policy_telemetry"].items())
+        }
+    return out
+
+
+def _run_case(policy_factory, traces, cores, warmup=0, cap=None) -> dict:
+    system = MultiCoreSystem(
+        SystemConfig(num_cores=cores, scale=SCALE), llc_policy=policy_factory()
+    )
+    result = system.run(traces, warmup_accesses=warmup, max_accesses_per_core=cap)
+    return _system_stats(system, result)
+
+
+def compute_golden() -> dict:
+    """The four pinned workloads (shared by the test and --regenerate)."""
+    mix2 = lambda: heterogeneous_mix(
+        ["mcf06", "libquantum06"], 1500, seed=7, scale=SCALE
+    )
+    mix16 = lambda: homogeneous_mix("mcf06", 16, 250, seed=3, scale=SCALE)
+    return {
+        "lru_2core": _run_case(LRUPolicy, mix2(), 2, warmup=400),
+        "chrome_2core": _run_case(ChromePolicy, mix2(), 2, warmup=400),
+        "lru_16core": _run_case(LRUPolicy, mix16(), 16),
+        "chrome_16core_capped": _run_case(
+            ChromePolicy, mix16(), 16, warmup=60, cap=200
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def computed() -> dict:
+    return compute_golden()
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden file {GOLDEN_PATH}; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_determinism.py --regenerate`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize(
+    "case", ["lru_2core", "chrome_2core", "lru_16core", "chrome_16core_capped"]
+)
+def test_stats_bit_identical(case: str, computed: dict, golden: dict) -> None:
+    assert computed[case] == golden[case], (
+        f"{case}: simulated behavior diverged from the committed golden. "
+        "If this change is intentionally behavior-altering, regenerate "
+        "with `PYTHONPATH=src python tests/test_golden_determinism.py "
+        "--regenerate` and justify the diff; a pure perf change must "
+        "never trip this."
+    )
+
+
+def test_repeated_run_is_deterministic(computed: dict) -> None:
+    """Two in-process runs agree (no hidden global/RNG leakage)."""
+    again = compute_golden()
+    assert again == computed
+
+
+def main() -> None:  # pragma: no cover - maintenance helper
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--regenerate",
+        action="store_true",
+        help=f"rewrite {GOLDEN_PATH} from the current code",
+    )
+    args = parser.parse_args()
+    if not args.regenerate:
+        parser.error("nothing to do; pass --regenerate (tests run under pytest)")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(compute_golden(), indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

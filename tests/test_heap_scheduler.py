@@ -1,0 +1,90 @@
+"""The heap scheduler must be invisible in simulated behavior.
+
+``MultiCoreSystem.run`` selects the next core to advance with a
+``(cycle, core_index)`` heap — O(log N) per access — plus a run-ahead
+inner loop that keeps executing the earliest core without touching the
+heap.  The reference semantics are the obvious O(N) scan: always
+advance the lowest-indexed core with the smallest progress clock.
+
+This test rebuilds that naive min-scan scheduler out of public APIs
+(``CoreHierarchy.execute`` + ``CAMATMonitor.maybe_close_epoch``) and
+checks a 16-core run produces *identical* statistics — every counter,
+every float — so scheduler refactors cannot silently reorder shared
+LLC/DRAM contention.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.sim.multicore import MultiCoreSystem, SystemConfig
+from repro.sim.replacement.lru import LRUPolicy
+from repro.traces.mixes import homogeneous_mix
+
+NUM_CORES = 16
+SCALE = 1 / 64
+
+
+def _mix():
+    return homogeneous_mix("mcf06", NUM_CORES, 250, seed=11, scale=SCALE)
+
+
+def _naive_min_scan_run(system: MultiCoreSystem, traces) -> None:
+    """Reference scheduler: O(N) min-scan, one record at a time."""
+    pending = [list(t) for t in traces]
+    positions = [0] * NUM_CORES
+    camat = system.camat
+    cores = system.cores
+    live = [i for i in range(NUM_CORES) if positions[i] < len(pending[i])]
+    while live:
+        # min() with a (cycle, index) key == lowest index wins ties,
+        # exactly the heap's tuple ordering.
+        idx = min(live, key=lambda i: (cores[i].core.current_cycle, i))
+        hierarchy = cores[idx]
+        record = pending[idx][positions[idx]]
+        positions[idx] += 1
+        hierarchy.execute(record)
+        camat.maybe_close_epoch(hierarchy.core.current_cycle)
+        if positions[idx] >= len(pending[idx]):
+            live.remove(idx)
+
+
+def _collect(system: MultiCoreSystem) -> dict:
+    return {
+        "llc": system.llc.stats,
+        "mgmt": system.llc.mgmt,
+        "l1": [h.l1.stats for h in system.cores],
+        "l2": [h.l2.stats for h in system.cores],
+        "snapshots": [repr(h.core.snapshot()) for h in system.cores],
+        "stalls": [repr(h.core.stall_cycles) for h in system.cores],
+        "camat": {k: repr(v) for k, v in sorted(system.camat.summary().items())},
+        "dram": (system.dram.reads, system.dram.writes),
+        "drops": [h.prefetch_drops for h in system.cores],
+        "filtered": [h.prefetch_filtered for h in system.cores],
+        "mshr": [
+            (h.l1.mshr.merges, h.l1.mshr.stalls, h.l2.mshr.merges, h.l2.mshr.stalls)
+            for h in system.cores
+        ],
+    }
+
+
+def test_heap_matches_naive_min_scan_16core() -> None:
+    cfg = SystemConfig(num_cores=NUM_CORES, scale=SCALE)
+
+    heap_system = MultiCoreSystem(cfg, llc_policy=LRUPolicy())
+    heap_system.run(_mix())
+
+    ref_system = MultiCoreSystem(cfg, llc_policy=LRUPolicy())
+    _naive_min_scan_run(ref_system, _mix())
+
+    heap_stats = _collect(heap_system)
+    ref_stats = _collect(ref_system)
+    for key in ref_stats:
+        assert heap_stats[key] == ref_stats[key], f"scheduler divergence in {key!r}"
+
+
+def test_run_loop_uses_heap() -> None:
+    """Guard the O(log N) property itself: the run loop must schedule
+    with a heap, not a per-access O(num_cores) scan."""
+    source = inspect.getsource(MultiCoreSystem.run)
+    assert "heappush" in source and "heappop" in source

@@ -1,0 +1,89 @@
+"""Profile the simulator hot path with cProfile.
+
+Runs one of the ``benchmarks/bench_hotpath.py`` workloads under
+cProfile and prints the top functions by cumulative and internal time —
+the view used to drive the hot-path overhaul (inlined access walk,
+heap scheduler, fused Q-table reads).
+
+Usage::
+
+    python tools/profile_hotpath.py                  # quad_core_chrome
+    python tools/profile_hotpath.py single_core_lru --work 20000
+    python tools/profile_hotpath.py --sort cumulative --top 40
+
+Note: cProfile's tracing overhead inflates wall time roughly 3-4x on
+this call-heavy code; use the relative ranking, not the absolute
+seconds (measure those with bench_hotpath.py, uninstrumented).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+for entry in (str(_REPO / "benchmarks"), str(_REPO / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from bench_hotpath import BENCHES, FULL_WORK  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "bench",
+        nargs="?",
+        default="quad_core_chrome",
+        choices=sorted(BENCHES),
+        help="workload to profile (default: quad_core_chrome)",
+    )
+    parser.add_argument(
+        "--work",
+        type=int,
+        default=None,
+        help="override the bench's work amount (default: full-size)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=25, help="rows to print per table (default 25)"
+    )
+    parser.add_argument(
+        "--sort",
+        default="both",
+        choices=["tottime", "cumulative", "both"],
+        help="ranking: internal time, cumulative time, or both (default)",
+    )
+    parser.add_argument(
+        "--dump", default=None, help="also write raw pstats data to this file"
+    )
+    args = parser.parse_args(argv)
+
+    work = args.work if args.work is not None else FULL_WORK[args.bench]
+    fn = BENCHES[args.bench]
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    ops, seconds = fn(work)
+    profiler.disable()
+
+    print(
+        f"{args.bench}: {ops} ops in {seconds:.3f}s under cProfile "
+        f"({ops / seconds:,.0f} ops/s instrumented; expect ~3-4x faster bare)\n"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs()
+    keys = ["tottime", "cumulative"] if args.sort == "both" else [args.sort]
+    for key in keys:
+        print(f"=== top {args.top} by {key} ===")
+        stats.sort_stats(key).print_stats(args.top)
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"raw pstats written to {args.dump}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
