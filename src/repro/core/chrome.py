@@ -215,6 +215,26 @@ class ChromePolicy(ReplacementPolicy):
                     best_touch = touch
         return best_way
 
+    # --- persistence --------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Snapshot the trained agent (Q-table + RNG) to JSON.
+
+        The snapshot is version-tagged and geometry-checked on restore;
+        floats round-trip exactly, so a restored agent's ``q_values``
+        are bit-identical to the saved ones (see
+        :mod:`repro.core.persistence`).
+        """
+        from .persistence import save_agent
+
+        save_agent(self, path, kind="chrome-agent")
+
+    def restore(self, path) -> None:
+        """Load a snapshot written by :meth:`save` into this agent."""
+        from .persistence import restore_agent
+
+        restore_agent(self, path, kind="chrome-agent")
+
     # --- reporting ---------------------------------------------------------------
 
     def telemetry(self) -> dict:

@@ -1,0 +1,103 @@
+"""Version-tagged JSON persistence for trained CHROME agents.
+
+Both agents in the repo — the LLC :class:`~repro.core.chrome.ChromePolicy`
+and the serving layer's :class:`~repro.serve.agent.ServeAgent` — expose
+the same trio of learned state: a :class:`~repro.core.qtable.QTable`, an
+exploration RNG, and a :class:`~repro.core.config.ChromeConfig`.  The
+helpers here snapshot that trio to JSON so a table trained in one
+context (e.g. the LLC simulator, or a long serve run) can warm-start
+another.
+
+Why JSON and not pickle: snapshots survive refactors of the agent
+classes, diff readably, and Python's float repr round-trips exactly —
+``json.loads(json.dumps(x)) == x`` bit-for-bit — so a restored Q-table
+is *bit-identical* to the saved one (the round-trip test pins this).
+
+Each snapshot carries ``version`` and ``kind`` tags; restore refuses
+mismatched kinds/geometry instead of silently mislearning.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict
+
+SNAPSHOT_VERSION = 1
+
+
+def _config_fingerprint(config) -> Dict[str, Any]:
+    """The config fields a Q-table snapshot must agree on to be loadable."""
+    return {
+        "num_subtables": config.num_subtables,
+        "subtable_entries": config.subtable_entries,
+        "q_fixed_point_fraction_bits": config.q_fixed_point_fraction_bits,
+        "q_value_bits": config.q_value_bits,
+        "alpha": config.alpha,
+        "gamma": config.gamma,
+        "epsilon": config.epsilon,
+    }
+
+
+def _rng_state_to_json(state) -> list:
+    """``random.Random.getstate()`` -> JSON-safe structure."""
+    version, internal, gauss = state
+    return [version, list(internal), gauss]
+
+
+def _rng_state_from_json(data) -> tuple:
+    version, internal, gauss = data
+    return (version, tuple(internal), gauss)
+
+
+def agent_state(agent, kind: str) -> Dict[str, Any]:
+    """Snapshot an agent (anything with ``qtable``, ``_rng``, ``config``)."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "kind": kind,
+        "config": _config_fingerprint(agent.config),
+        "qtable": agent.qtable.state_dict(),
+        "rng_state": _rng_state_to_json(agent._rng.getstate()),
+    }
+
+
+def load_agent_state(agent, state: Dict[str, Any], kind: str) -> None:
+    """Restore a snapshot into a live agent (geometry-checked)."""
+    if state.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported agent snapshot version {state.get('version')!r} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    if state.get("kind") != kind:
+        raise ValueError(
+            f"snapshot kind {state.get('kind')!r} does not match {kind!r} "
+            "(an LLC agent snapshot cannot warm-start a serve agent "
+            "directly, and vice versa)"
+        )
+    expected = _config_fingerprint(agent.config)
+    saved = state.get("config", {})
+    mismatched = {
+        k: (saved.get(k), v) for k, v in expected.items() if saved.get(k) != v
+    }
+    if mismatched:
+        raise ValueError(f"agent config mismatch on restore: {mismatched}")
+    agent.qtable.load_state_dict(state["qtable"])
+    rng_state = state.get("rng_state")
+    if rng_state is not None:
+        agent._rng.setstate(_rng_state_from_json(rng_state))
+
+
+def save_agent(agent, path: str | os.PathLike, kind: str) -> None:
+    """Write an agent snapshot atomically (tmp file + rename)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(agent_state(agent, kind)))
+    os.replace(tmp, target)
+
+
+def restore_agent(agent, path: str | os.PathLike, kind: str) -> None:
+    """Load a snapshot written by :func:`save_agent` into ``agent``."""
+    state = json.loads(Path(path).read_text())
+    load_agent_state(agent, state, kind)

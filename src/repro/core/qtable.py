@@ -344,6 +344,59 @@ class QTable:
                     value = hi
                 row[action] = value
 
+    # --- persistence -----------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete, JSON-serializable learned state.
+
+        Stores the raw per-sub-table partial values (plain floats —
+        JSON round-trips Python floats exactly), the geometry needed to
+        validate a load, and the lookup/update counters.
+        """
+        return {
+            "version": 1,
+            "num_features": self.num_features,
+            "num_subtables": self.num_subtables,
+            "rows": self.rows,
+            "num_actions": NUM_ACTIONS,
+            "tables": [
+                [[list(row) for row in subtable] for subtable in feature]
+                for feature in self._tables
+            ],
+            "lookups": self.lookups,
+            "updates": self.updates,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (bit-identical q_values).
+
+        The table geometry must match this instance's construction; the
+        memoized row caches are rebuilt lazily, so restored values are
+        served on the very next lookup.
+        """
+        if state.get("version") != 1:
+            raise ValueError(f"unsupported QTable state version {state.get('version')!r}")
+        expected = {
+            "num_features": self.num_features,
+            "num_subtables": self.num_subtables,
+            "rows": self.rows,
+            "num_actions": NUM_ACTIONS,
+        }
+        mismatched = {
+            k: (state.get(k), v) for k, v in expected.items() if state.get(k) != v
+        }
+        if mismatched:
+            raise ValueError(f"QTable geometry mismatch on load: {mismatched}")
+        tables = state["tables"]
+        self._tables = [
+            [[list(row) for row in subtable] for subtable in feature]
+            for feature in tables
+        ]
+        # Row caches hold live references into the replaced tables.
+        self._row_caches = [{} for _ in range(self.num_features)]
+        self.lookups = int(state.get("lookups", 0))
+        self.updates = int(state.get("updates", 0))
+
     # --- introspection ---------------------------------------------------------------
 
     def storage_bits(self) -> int:

@@ -38,6 +38,7 @@ from .result_cache import ResultCache
 from .runner import ExperimentScale, Runner, chrome_with, resolve_policy
 
 from . import ablations as _ablations  # noqa: F401  (eager registration)
+from ..serve import experiments as _serve_experiments  # noqa: F401  (serve_* ids)
 
 __all__ = [
     "EXPERIMENTS",

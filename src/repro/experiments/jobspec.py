@@ -198,19 +198,38 @@ def job_for(
     )
 
 
-def job_fingerprint(job: SimJob, code_version: str = CODE_VERSION) -> str:
-    """Content hash for the on-disk result cache (spec + code version)."""
+def job_fingerprint(job, code_version: str = CODE_VERSION) -> str:
+    """Content hash for the on-disk result cache (spec + code version).
+
+    Works for any job kind exposing ``canonical()``; non-simulation
+    jobs namespace their tuple (e.g. serve jobs lead with ``"serve"``
+    and their own code version) so kinds can never collide.
+    """
     payload = repr(("chrome-repro", code_version, job.canonical()))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def execute_job(job: SimJob) -> SystemResult:
+def execute_job(job):
     """Run one job from its spec alone (pure given the spec).
 
-    Every job builds its own traces and a fresh policy, each seeded by
-    the spec, so results do not depend on which process executes the
-    job or in which order — the engine's determinism guarantee.
+    Every job builds its own traces/requests and a fresh policy, each
+    seeded by the spec, so results do not depend on which process
+    executes the job or in which order — the engine's determinism
+    guarantee.
+
+    :class:`SimJob` is executed here directly; any other job kind
+    (e.g. :class:`repro.serve.jobs.ServeJob`) supplies its own
+    ``execute()`` method and is dispatched to it, so the engine's
+    scheduling, dedup and caching are shared by every subsystem.
     """
+    if not isinstance(job, SimJob):
+        execute = getattr(job, "execute", None)
+        if callable(execute):
+            return execute()
+        raise TypeError(
+            f"cannot execute job of type {type(job).__name__}: expected a "
+            "SimJob or a spec with an execute() method"
+        )
     total = job.accesses_per_core + job.warmup_per_core
     traces = job.mix.build(total, job.machine_scale)
     config = SystemConfig(num_cores=job.mix.num_cores, scale=job.machine_scale)

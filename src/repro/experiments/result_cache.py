@@ -67,5 +67,34 @@ class ResultCache:
                 pass
             raise
 
+    def prune(self, max_entries: int) -> int:
+        """Trim the cache to at most ``max_entries`` entries.
+
+        Oldest entries (by modification time — a disk hit does not
+        refresh it, so this is insertion order for practical purposes)
+        are deleted first.  Returns the number of entries removed;
+        entries deleted concurrently by another process are skipped,
+        never raised.
+        """
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        entries = []
+        for path in self.root.glob("*.pkl"):
+            try:
+                entries.append((path.stat().st_mtime, path.name, path))
+            except OSError:
+                continue  # vanished mid-scan
+        removed = 0
+        excess = len(entries) - max_entries
+        if excess <= 0:
+            return 0
+        for _, _, path in sorted(entries)[:excess]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.pkl"))

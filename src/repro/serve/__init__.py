@@ -1,0 +1,67 @@
+"""``repro.serve`` — a software object-cache serving layer driven by
+the CHROME agent.
+
+The first subsystem where the reproduction's contribution runs
+*outside* the LLC simulator: a size-aware segmented object store
+(:mod:`.store`), the paper's RL agent retargeted to cache requests
+(:mod:`.agent` — key signatures for PCs, tenants for cores, backend
+latency for C-AMAT), classic software-cache baselines behind one
+interface (:mod:`.policies`), seeded request generators
+(:mod:`.workloads`), an asyncio front-end whose results are
+bit-identical under any client concurrency (:mod:`.service`), and
+operator metrics (:mod:`.metrics`).
+
+Importing this package registers the ``serve_zipf``,
+``serve_multitenant`` and ``serve_phases`` experiments with the
+shared registry; their :class:`~repro.serve.jobs.ServeJob` specs run
+on the parallel experiment engine like every paper figure.
+"""
+
+from .agent import BackendObstructionMonitor, ChromeServePolicy, ServeAgent
+from .jobs import SERVE_CODE_VERSION, ServeJob
+from .metrics import MetricsRecorder, ServeMetrics, TenantMetrics
+from .policies import (
+    SERVE_POLICIES,
+    GDSFServePolicy,
+    LFUServePolicy,
+    LRUServePolicy,
+    S3FIFOServePolicy,
+    ServePolicy,
+    make_serve_policy,
+    register_serve_policy,
+)
+from .service import Backend, CacheService, LatencyConfig, replay_requests, run_service
+from .store import CachedObject, ObjectStore
+from .workloads import WORKLOADS, Request, build_workload, object_size
+
+from . import experiments as _experiments  # noqa: F401  (eager registration)
+
+__all__ = [
+    "Backend",
+    "BackendObstructionMonitor",
+    "CacheService",
+    "CachedObject",
+    "ChromeServePolicy",
+    "GDSFServePolicy",
+    "LFUServePolicy",
+    "LRUServePolicy",
+    "LatencyConfig",
+    "MetricsRecorder",
+    "ObjectStore",
+    "Request",
+    "S3FIFOServePolicy",
+    "SERVE_CODE_VERSION",
+    "SERVE_POLICIES",
+    "ServeAgent",
+    "ServeJob",
+    "ServeMetrics",
+    "ServePolicy",
+    "TenantMetrics",
+    "WORKLOADS",
+    "build_workload",
+    "make_serve_policy",
+    "object_size",
+    "register_serve_policy",
+    "replay_requests",
+    "run_service",
+]

@@ -1,0 +1,351 @@
+"""The CHROME agent, retargeted from the LLC to the object cache.
+
+The paper's RL formulation carries over to a software cache almost
+feature-for-feature (RLCache and Cold-RL make the same observation for
+key-value and NGINX caches); the mapping is:
+
+==========================  =================================================
+LLC (paper)                 serving layer (this module)
+==========================  =================================================
+PC signature                **key-hash signature** (key + hit/refresh bits)
+page number                 **size class** (log2 bucket of the object size)
+core id                     **tenant / shard id**
+demand vs. prefetch         **origin fetch vs. proactive refresh**
+C-AMAT LLC-obstruction      **backend-latency obstruction** (EWMA per tenant)
+64 sampled sets             64 sampled *segments* of the object store
+bypass / insert-EPV         serve-and-drop / admit with an EPV
+==========================  =================================================
+
+Everything else — the feature-sliced Q-table, the per-sampled-segment
+EQ FIFOs, R_AC/R_IN on re-request, OB/NOB-split NR rewards on EQ
+eviction, the SARSA update pairing an evicted entry with the queue's
+new head — is reused *directly* from :mod:`repro.core`; this module
+contains no learning code of its own.
+
+The concurrency-aware part survives intact: when a tenant's backend
+fetches are slow (its origin is "obstructed", the C-AMAT analogue),
+the NR rewards grow in magnitude, so the agent works hardest at
+evicting useless bytes exactly where misses hurt most.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from ..core.config import (
+    ACTION_BYPASS,
+    ACTION_EPV_HIGH,
+    ACTION_TO_EPV,
+    EPV_MAX,
+    HIT_ACTIONS,
+    MISS_ACTIONS,
+    ChromeConfig,
+)
+from ..core.eq import EQEntry, EvaluationQueue, hash_block_address
+from ..core.persistence import restore_agent, save_agent
+from ..core.qtable import QTable
+from ..sim.address import fold_hash, mix_hash
+from ..sim.replacement.optgen import choose_sampled_sets
+from .policies import ServePolicy, register_serve_policy
+from .store import CachedObject
+from .workloads import Request
+
+KEY_SIG_BITS = 17
+SIZE_CLASS_BITS = 16
+
+_CACHE_LIMIT = 1 << 20
+
+
+class ServeFeatureExtractor:
+    """Two-feature state vector for serve requests (Sec. IV-A analogue).
+
+    Feature 1 — **key signature**: the key hashed with the hit/miss
+    outcome, an ``is_refresh`` bit and the tenant id folded in, exactly
+    like the LLC's PC signature folds hit/prefetch/core.  Feature
+    hashing aggregates the long tail: buckets dominated by one-shot
+    keys learn "bypass", buckets owned by a popular key learn "keep".
+
+    Feature 2 — **size class**: the log2 bucket of the object size (x
+    tenant), the data-access feature.  It generalizes across keys, so
+    the agent can learn size-aware admission (e.g. large scan objects
+    are rarely worth their bytes) even for never-seen keys.
+    """
+
+    __slots__ = ("_sig_cache", "_size_cache")
+
+    num_features = 2
+
+    def __init__(self) -> None:
+        self._sig_cache: Dict[int, int] = {}
+        self._size_cache: Dict[int, int] = {}
+
+    def extract(
+        self, key: int, size: int, tenant: int, hit: bool, is_refresh: bool
+    ) -> Tuple[int, int]:
+        sig_key = (((key << 8) | (tenant & 0x3F)) << 2) | ((1 if hit else 0) << 1) | (
+            1 if is_refresh else 0
+        )
+        sig = self._sig_cache.get(sig_key)
+        if sig is None:
+            raw = (key << 3) | (tenant & 0x1) << 2
+            raw |= (1 if is_refresh else 0) << 1
+            raw |= 1 if hit else 0
+            raw ^= tenant << 40
+            sig = fold_hash(raw, KEY_SIG_BITS)
+            if len(self._sig_cache) < _CACHE_LIMIT:
+                self._sig_cache[sig_key] = sig
+        size_key = (size.bit_length() << 8) | (tenant & 0xFF)
+        size_feat = self._size_cache.get(size_key)
+        if size_feat is None:
+            size_feat = fold_hash(size_key, SIZE_CLASS_BITS)
+            if len(self._size_cache) < _CACHE_LIMIT:
+                self._size_cache[size_key] = size_feat
+        return (sig, size_feat)
+
+
+class BackendObstructionMonitor:
+    """Per-tenant EWMA of backend fetch latency — the C-AMAT stand-in.
+
+    A tenant whose recent origin fetches are slower than
+    ``threshold x`` the unloaded baseline is *obstructed*: its misses
+    are expensive right now, so the agent's concurrency-aware NR
+    rewards amplify (exactly the role the LLC-obstruction flags play
+    in the paper's reward scheme).
+    """
+
+    __slots__ = ("baseline_ms", "threshold", "beta", "_ewma")
+
+    def __init__(
+        self, baseline_ms: float, threshold: float = 1.35, beta: float = 0.08
+    ) -> None:
+        self.baseline_ms = baseline_ms
+        self.threshold = threshold
+        self.beta = beta
+        self._ewma: Dict[int, float] = {}
+
+    def observe(self, tenant: int, latency_ms: float) -> None:
+        prev = self._ewma.get(tenant, self.baseline_ms)
+        self._ewma[tenant] = prev + self.beta * (latency_ms - prev)
+
+    def is_obstructed(self, tenant: int) -> bool:
+        ewma = self._ewma.get(tenant)
+        if ewma is None:
+            return False
+        return ewma > self.baseline_ms * self.threshold
+
+    def summary(self) -> dict:
+        return {f"tenant{t}": round(v, 3) for t, v in sorted(self._ewma.items())}
+
+
+class ServeAgent:
+    """Algorithm 1 over cache *requests* instead of LLC accesses.
+
+    The decision/training pipeline is a line-for-line port of
+    :class:`~repro.core.chrome.ChromePolicy`: epsilon-greedy over the
+    same four actions, EQ recording on sampled segments, R_AC/R_IN on
+    re-request, OB/NOB NR rewards at EQ eviction, one SARSA update per
+    eviction.  Only the state features and the obstruction source
+    differ (see the module docstring's mapping table).
+    """
+
+    def __init__(
+        self, config: Optional[ChromeConfig] = None, seed: int = 0
+    ) -> None:
+        self.config = config or ChromeConfig()
+        self.features = ServeFeatureExtractor()
+        self.qtable = QTable(self.features.num_features, self.config)
+        self.eq = EvaluationQueue(self.config.sampled_sets, self.config.eq_fifo_size)
+        # Job-spec seeding, mirroring SimJob: the exploration RNG is a
+        # pure function of (config seed, job seed) — nothing ambient.
+        self._rng = random.Random(mix_hash((self.config.seed << 17) ^ seed))
+        self._rand = self._rng.random
+        self._epsilon = self.config.epsilon
+        self._rewards = self.config.rewards
+        self._miss_actions: Tuple[int, ...] = MISS_ACTIONS
+        self._hit_actions: Tuple[int, ...] = HIT_ACTIONS
+        self._monitor: Optional[BackendObstructionMonitor] = None
+        self._sampled_queue: Dict[int, int] = {}
+        # telemetry
+        self.sampled_requests = 0
+        self.decisions = 0
+        self.explorations = 0
+        self.bypass_decisions = 0
+
+    # --- wiring -----------------------------------------------------------------
+
+    def attach(self, num_segments: int) -> None:
+        """Choose the sampled training segments (64-sampled-set scheme)."""
+        sampled = sorted(
+            choose_sampled_sets(num_segments, self.config.sampled_sets)
+        )
+        self._sampled_queue = {s: i for i, s in enumerate(sampled)}
+        if len(sampled) != self.eq.num_queues:
+            self.eq = EvaluationQueue(len(sampled), self.config.eq_fifo_size)
+
+    def bind_obstruction(self, monitor: BackendObstructionMonitor) -> None:
+        """Receive the backend-latency monitor supplying OB/NOB flags."""
+        self._monitor = monitor
+
+    # --- decision + training (Algorithm 1) ---------------------------------------
+
+    def decide(self, req: Request, seg_idx: int, hit: bool) -> int:
+        """One RL decision for one request; trains on sampled segments."""
+        queue_idx = self._sampled_queue.get(seg_idx)
+        hashed = hash_block_address(req.key) if queue_idx is not None else 0
+
+        if queue_idx is not None:
+            self.sampled_requests += 1
+            entry = self.eq.find(queue_idx, hashed)
+            if entry is not None and entry.reward is None:
+                self.eq.reward_matches += 1
+                rewards = self._rewards
+                if hit:
+                    entry.reward = rewards.accurate(req.is_refresh)
+                else:
+                    entry.reward = rewards.inaccurate(req.is_refresh)
+
+        state = self.features.extract(
+            req.key, req.size, req.tenant, hit, req.is_refresh
+        )
+
+        legal = self._hit_actions if hit else self._miss_actions
+        self.decisions += 1
+        if self._rand() < self._epsilon:
+            action = legal[self._rng.randrange(len(legal))]
+            self.explorations += 1
+        else:
+            action = self.qtable.best_action(state, legal)
+        if action == ACTION_BYPASS:
+            self.bypass_decisions += 1
+
+        if queue_idx is not None:
+            new_entry = EQEntry(
+                state=state,
+                action=action,
+                trigger_hit=hit,
+                hashed_addr=hashed,
+                core=req.tenant,
+            )
+            evicted, head = self.eq.insert(queue_idx, new_entry)
+            if evicted is not None and head is not None:
+                if not evicted.has_reward:
+                    evicted.reward = self._no_rerequest_reward(evicted)
+                self._sarsa_update(evicted, head)
+        return action
+
+    def _no_rerequest_reward(self, entry: EQEntry) -> float:
+        rewards = self._rewards
+        obstructed = (
+            self._monitor.is_obstructed(entry.core)
+            if self._monitor is not None
+            else False
+        )
+        if entry.trigger_hit:
+            deprioritized = entry.action == ACTION_EPV_HIGH
+        else:
+            deprioritized = entry.action == ACTION_BYPASS
+        if deprioritized:
+            return rewards.accurate_no_rerequest(obstructed)
+        return rewards.inaccurate_no_rerequest(obstructed)
+
+    def _sarsa_update(self, evicted: EQEntry, head: EQEntry) -> None:
+        cfg = self.config
+        q_next = self.qtable.q(head.state, head.action)
+        q_cur = self.qtable.q(evicted.state, evicted.action)
+        assert evicted.reward is not None
+        delta = cfg.alpha * (evicted.reward + cfg.gamma * q_next - q_cur)
+        self.qtable.apply_delta(evicted.state, evicted.action, delta)
+
+    # --- persistence (warm starts) ------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write a version-tagged JSON snapshot (Q-table + RNG state)."""
+        save_agent(self, path, kind="serve-agent")
+
+    def restore(self, path) -> None:
+        """Load a snapshot saved by :meth:`save` (bit-identical Q)."""
+        restore_agent(self, path, kind="serve-agent")
+
+    # --- reporting ---------------------------------------------------------------
+
+    def telemetry(self) -> dict:
+        return {
+            "decisions": self.decisions,
+            "explorations": self.explorations,
+            "bypass_decisions": self.bypass_decisions,
+            "sampled_requests": self.sampled_requests,
+            "q_updates": self.qtable.updates,
+            "eq_reward_matches": self.eq.reward_matches,
+            **self.qtable.snapshot_stats(),
+        }
+
+
+class ChromeServePolicy(ServePolicy):
+    """The ServePolicy facade over :class:`ServeAgent`.
+
+    Admission mirrors the LLC miss path (bypass or insert with an
+    EPV), hits update the object's EPV, and eviction picks the highest
+    EPV (oldest-first among ties) — :meth:`ChromePolicy.find_victim`
+    transplanted to variable-sized objects.
+    """
+
+    name = "chrome"
+
+    def __init__(
+        self,
+        config: Optional[ChromeConfig] = None,
+        seed: int = 0,
+        agent: Optional[ServeAgent] = None,
+    ) -> None:
+        super().__init__()
+        self.agent = agent or ServeAgent(config, seed=seed)
+        self._pending_epv: Optional[Tuple[int, int]] = None  # (key, epv)
+
+    def attach(self, num_segments: int, segment_capacity: int) -> None:
+        super().attach(num_segments, segment_capacity)
+        self.agent.attach(num_segments)
+
+    def bind_obstruction(self, monitor: BackendObstructionMonitor) -> None:
+        self.agent.bind_obstruction(monitor)
+
+    def admit(self, req: Request, seg_idx: int) -> bool:
+        action = self.agent.decide(req, seg_idx, hit=False)
+        if action == ACTION_BYPASS:
+            self._pending_epv = None
+            return False
+        self._pending_epv = (req.key, ACTION_TO_EPV[action])
+        return True
+
+    def on_admit(self, req: Request, obj: CachedObject, seg_idx: int) -> None:
+        pending = self._pending_epv
+        self._pending_epv = None
+        if pending is not None and pending[0] == req.key:
+            obj.epv = pending[1]
+        else:
+            obj.epv = EPV_MAX
+
+    def on_hit(self, req: Request, obj: CachedObject, seg_idx: int) -> None:
+        action = self.agent.decide(req, seg_idx, hit=True)
+        obj.epv = ACTION_TO_EPV[action]
+
+    def select_victim(self, segment: Dict[int, CachedObject], seg_idx: int) -> int:
+        best_key = -1
+        best_epv = -1
+        best_touch = 0
+        for key, obj in segment.items():
+            epv = obj.epv
+            if epv > best_epv:
+                best_key = key
+                best_epv = epv
+                best_touch = obj.last_touch
+            elif epv == best_epv and obj.last_touch < best_touch:
+                best_key = key
+                best_touch = obj.last_touch
+        return best_key
+
+    def telemetry(self) -> dict:
+        return self.agent.telemetry()
+
+
+register_serve_policy("chrome", ChromeServePolicy)

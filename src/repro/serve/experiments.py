@@ -1,0 +1,203 @@
+"""Serve experiments: CHROME vs. classic policies on the PR-1 engine.
+
+Three experiments register at import time (importing
+:mod:`repro.experiments` — or :mod:`repro.serve` — is enough), each a
+declarative :class:`~repro.experiments.engine.ExperimentPlan` over
+:class:`~repro.serve.jobs.ServeJob` specs:
+
+* ``serve_zipf``        — Zipf traffic polluted by periodic one-shot
+  scans: the admission benchmark (can a policy refuse bytes that will
+  never be re-read?);
+* ``serve_multitenant`` — four tenants with clashing behaviours (Zipf,
+  scanner, bursty, light Zipf) sharing one cache; per-tenant byte hit
+  ratios show who wins and who starves;
+* ``serve_phases``      — diurnal popularity shifts: stale-frequency
+  traps for LFU-like policies, adaptation speed for the agent.
+
+Run sizes map from the shared :class:`ExperimentScale`: CLI/env knobs
+(``--accesses``, ``--warmup``, ``REPRO_SCALE``...) scale serve
+experiments exactly like figure experiments, and the engine gives them
+``--jobs N`` parallelism, cross-experiment dedup and ``--cache-dir``
+memoization for free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Tuple
+
+from ..experiments.engine import ExperimentPlan
+from ..experiments.registry import register_experiment
+from ..experiments.report import ExperimentResult
+from ..experiments.runner import ExperimentScale
+from .jobs import ServeJob
+from .metrics import ServeMetrics
+
+#: every serve experiment compares these policies (CHROME last so the
+#: table reads baseline -> learned)
+SERVE_POLICIES_COMPARED: Tuple[str, ...] = ("lru", "lfu", "gdsf", "s3fifo", "chrome")
+
+#: full-scale store geometry; capacity scales with machine_scale the
+#: way the LLC does, segments stay fixed (the sampled-segment scheme
+#: needs at least the 64 training segments)
+FULL_SCALE_CAPACITY_BYTES = 256 << 20  # 256 MiB at machine_scale=1.0
+NUM_SEGMENTS = 128
+MIN_CAPACITY_BYTES = NUM_SEGMENTS * (96 << 10)  # >= one large object per segment
+
+
+def serve_capacity(scale: ExperimentScale) -> int:
+    return max(
+        MIN_CAPACITY_BYTES, int(FULL_SCALE_CAPACITY_BYTES * scale.machine_scale)
+    )
+
+
+def _serve_job(
+    scale: ExperimentScale,
+    workload: str,
+    policy: str,
+    workload_params: Tuple[Tuple[str, object], ...] = (),
+    seed: int = 0,
+) -> ServeJob:
+    return ServeJob(
+        workload=workload,
+        policy=policy,
+        num_requests=scale.accesses_per_core,
+        warmup_requests=scale.warmup_per_core,
+        capacity_bytes=serve_capacity(scale),
+        num_segments=NUM_SEGMENTS,
+        num_clients=8,
+        seed=seed,
+        workload_params=workload_params,
+    )
+
+
+def _policy_rows(
+    jobs: Mapping[str, ServeJob], results: Mapping[ServeJob, ServeMetrics]
+) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for policy, job in jobs.items():
+        m = results[job]
+        rows.append(
+            [
+                policy,
+                round(100.0 * m.object_hit_ratio, 2),
+                round(100.0 * m.byte_hit_ratio, 2),
+                round(100.0 * m.backend_load, 2),
+                round(m.p99_latency_ms, 2),
+                m.evictions,
+                m.bypassed,
+            ]
+        )
+    return rows
+
+
+_COLUMNS = [
+    "policy",
+    "object_hit%",
+    "byte_hit%",
+    "backend_load%",
+    "p99_ms",
+    "evictions",
+    "bypasses",
+]
+
+
+def _chrome_vs_lru_note(
+    jobs: Mapping[str, ServeJob], results: Mapping[ServeJob, ServeMetrics]
+) -> str:
+    chrome = results[jobs["chrome"]]
+    lru = results[jobs["lru"]]
+    delta = 100.0 * (chrome.byte_hit_ratio - lru.byte_hit_ratio)
+    return (
+        f"CHROME byte hit ratio {100.0 * chrome.byte_hit_ratio:.2f}% vs "
+        f"LRU {100.0 * lru.byte_hit_ratio:.2f}% ({delta:+.2f} pts)"
+    )
+
+
+def _comparison_plan(
+    experiment_id: str,
+    title: str,
+    workload: str,
+    scale: ExperimentScale,
+    workload_params: Tuple[Tuple[str, object], ...] = (),
+    extra_notes=None,
+) -> ExperimentPlan:
+    jobs = {
+        policy: _serve_job(scale, workload, policy, workload_params)
+        for policy in SERVE_POLICIES_COMPARED
+    }
+
+    def assemble(results: Mapping[ServeJob, ServeMetrics]) -> ExperimentResult:
+        notes = [_chrome_vs_lru_note(jobs, results)]
+        if extra_notes is not None:
+            notes.extend(extra_notes(jobs, results))
+        return ExperimentResult(
+            experiment_id=experiment_id,
+            title=title,
+            columns=list(_COLUMNS),
+            rows=_policy_rows(jobs, results),
+            notes=notes,
+        )
+
+    return ExperimentPlan(
+        experiment_id=experiment_id,
+        jobs=tuple(jobs.values()),
+        assemble=assemble,
+    )
+
+
+def serve_zipf_plan(scale: ExperimentScale) -> ExperimentPlan:
+    return _comparison_plan(
+        "serve_zipf",
+        "object cache under Zipf + scan pollution (CHROME vs. baselines)",
+        "zipf_scan",
+        scale,
+    )
+
+
+def serve_phases_plan(scale: ExperimentScale) -> ExperimentPlan:
+    return _comparison_plan(
+        "serve_phases",
+        "object cache under diurnal phase shifts",
+        "phases",
+        scale,
+    )
+
+
+def serve_multitenant_plan(scale: ExperimentScale) -> ExperimentPlan:
+    def tenant_notes(jobs, results):
+        notes = []
+        for policy in ("lru", "chrome"):
+            m = results[jobs[policy]]
+            per = ", ".join(
+                f"t{t}={100.0 * tm.byte_hit_ratio:.1f}%"
+                for t, tm in sorted(m.per_tenant.items())
+            )
+            notes.append(f"{policy} per-tenant byte hit: {per}")
+        return notes
+
+    return _comparison_plan(
+        "serve_multitenant",
+        "shared object cache, four tenants with clashing behaviours",
+        "multitenant",
+        scale,
+        extra_notes=tenant_notes,
+    )
+
+
+SERVE_PLANS = {
+    "serve_zipf": serve_zipf_plan,
+    "serve_multitenant": serve_multitenant_plan,
+    "serve_phases": serve_phases_plan,
+}
+
+
+def _register() -> None:
+    for experiment_id, plan_builder in SERVE_PLANS.items():
+
+        def runner_fn(runner, _builder=plan_builder):
+            return runner.run_plan(_builder(runner.scale))
+
+        register_experiment(experiment_id, runner_fn, plan=plan_builder)
+
+
+_register()

@@ -1,0 +1,101 @@
+"""Declarative serve jobs for the parallel experiment engine.
+
+A :class:`ServeJob` is to the serving layer what
+:class:`~repro.experiments.jobspec.SimJob` is to the simulator: a
+frozen, hashable, entirely self-describing spec.  Workload, policy,
+store geometry, client concurrency and every RNG seed live *in the
+spec*, so a job executes identically inline, in a ``--jobs N`` worker
+process, or on a disk-cache replay — the engine schedules, dedups and
+memoizes serve jobs exactly like simulation jobs (it dispatches on
+``job.execute()``; see :func:`repro.experiments.jobspec.execute_job`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..sim.address import mix_hash
+from .metrics import ServeMetrics
+from .policies import make_serve_policy
+from .service import run_service
+from .workloads import build_workload
+
+#: Bump when serve semantics change in a way that must invalidate
+#: previously cached serve results (the serve analogue of
+#: :data:`repro.experiments.jobspec.CODE_VERSION`).
+SERVE_CODE_VERSION = "serve-1"
+
+#: policies whose exploration RNG is seeded from the job spec
+_SEEDED_POLICIES = frozenset({"chrome"})
+
+
+@dataclass(frozen=True)
+class ServeJob:
+    """One schedulable serve run: (workload, policy, store geometry)."""
+
+    workload: str
+    policy: str
+    num_requests: int
+    warmup_requests: int
+    capacity_bytes: int
+    num_segments: int
+    num_clients: int = 8
+    seed: int = 0
+    workload_params: Tuple[Tuple[str, object], ...] = ()
+    policy_params: Tuple[Tuple[str, object], ...] = ()
+    checkpoint_every: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"serve:{self.workload} {self.policy}"
+
+    def canonical(self) -> Tuple:
+        """Stable literal-only identity (cache key + dedup key)."""
+        return (
+            "serve",
+            SERVE_CODE_VERSION,
+            self.workload,
+            self.workload_params,
+            self.policy,
+            self.policy_params,
+            self.num_requests,
+            self.warmup_requests,
+            self.capacity_bytes,
+            self.num_segments,
+            self.num_clients,
+            self.seed,
+            self.checkpoint_every,
+        )
+
+    def build_policy(self):
+        """Fresh policy instance, RNG-seeded from this spec.
+
+        Mirrors :class:`SimJob`'s discipline: learned policies derive
+        their exploration RNG purely from (spec seed, policy name), so
+        two jobs differing only in seed train differently, and the
+        same job always trains identically.
+        """
+        params = dict(self.policy_params)
+        if self.policy in _SEEDED_POLICIES:
+            params.setdefault(
+                "seed", mix_hash((self.seed << 8) ^ len(self.policy))
+            )
+        return make_serve_policy(self.policy, **params)
+
+    def execute(self) -> ServeMetrics:
+        """Run this job from its spec alone (pure given the spec)."""
+        total = self.num_requests + self.warmup_requests
+        requests = build_workload(
+            self.workload, total, seed=self.seed, **dict(self.workload_params)
+        )
+        return run_service(
+            requests,
+            self.build_policy(),
+            self.capacity_bytes,
+            self.num_segments,
+            num_clients=self.num_clients,
+            warmup_requests=self.warmup_requests,
+            checkpoint_every=self.checkpoint_every,
+            workload_name=self.workload,
+        )

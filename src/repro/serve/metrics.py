@@ -1,0 +1,164 @@
+"""Serving-layer metrics: what a cache operator actually reports.
+
+The LLC experiments report IPC and miss ratios; a software object
+cache reports
+
+* **object hit ratio** — fraction of requests served from cache;
+* **byte hit ratio**   — fraction of requested *bytes* served from
+  cache (the number a CDN bills by: large-object misses dominate
+  origin egress);
+* **backend load**     — origin fetches and bytes (misses the origin
+  must absorb), plus the peak concurrent fetch depth;
+* **latency**          — mean/p50/p99 request latency in virtual
+  milliseconds from the deterministic latency model.
+
+:class:`ServeMetrics` is a plain picklable dataclass with value
+equality, so serve results flow through the engine's memo/disk caches
+and the ``--jobs 1`` vs ``--jobs N`` bit-identity checks exactly like
+:class:`~repro.sim.multicore.SystemResult` does for simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[rank]
+
+
+@dataclass
+class TenantMetrics:
+    """Per-tenant slice of the request accounting."""
+
+    requests: int = 0
+    hits: int = 0
+    bytes_requested: int = 0
+    bytes_hit: int = 0
+
+    @property
+    def object_hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        return self.bytes_hit / self.bytes_requested if self.bytes_requested else 0.0
+
+
+@dataclass
+class ServeMetrics:
+    """Complete, picklable result of one serve run."""
+
+    policy: str
+    workload: str
+    requests: int = 0
+    hits: int = 0
+    bytes_requested: int = 0
+    bytes_hit: int = 0
+    backend_fetches: int = 0
+    backend_bytes: int = 0
+    admitted: int = 0
+    bypassed: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
+    peak_outstanding: int = 0
+    mean_latency_ms: float = 0.0
+    p50_latency_ms: float = 0.0
+    p99_latency_ms: float = 0.0
+    per_tenant: Dict[int, TenantMetrics] = field(default_factory=dict)
+    #: cumulative (requests, object_hit_ratio, byte_hit_ratio) checkpoints
+    curve: List[Tuple[int, float, float]] = field(default_factory=list)
+    #: agent counters (Q-table health, exploration, ...) when CHROME serves
+    telemetry: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def object_hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        return self.bytes_hit / self.bytes_requested if self.bytes_requested else 0.0
+
+    @property
+    def backend_load(self) -> float:
+        """Fraction of requested bytes the origin had to serve."""
+        if not self.bytes_requested:
+            return 0.0
+        return self.backend_bytes / self.bytes_requested
+
+
+class MetricsRecorder:
+    """Streaming accumulator the service feeds once per request."""
+
+    def __init__(
+        self, policy: str, workload: str, checkpoint_every: int = 0
+    ) -> None:
+        self.metrics = ServeMetrics(policy=policy, workload=workload)
+        self._latencies: List[float] = []
+        self._checkpoint_every = checkpoint_every
+        self._measuring = True
+
+    def set_measuring(self, measuring: bool) -> None:
+        """Warmup gate: traffic flows but is not accounted."""
+        self._measuring = measuring
+
+    def on_request(
+        self,
+        tenant: int,
+        size: int,
+        hit: bool,
+        latency_ms: float,
+        outstanding: int,
+    ) -> None:
+        if not self._measuring:
+            return
+        m = self.metrics
+        m.requests += 1
+        m.bytes_requested += size
+        t = m.per_tenant.get(tenant)
+        if t is None:
+            t = m.per_tenant[tenant] = TenantMetrics()
+        t.requests += 1
+        t.bytes_requested += size
+        if hit:
+            m.hits += 1
+            m.bytes_hit += size
+            t.hits += 1
+            t.bytes_hit += size
+        else:
+            m.backend_fetches += 1
+            m.backend_bytes += size
+            if outstanding > m.peak_outstanding:
+                m.peak_outstanding = outstanding
+        self._latencies.append(latency_ms)
+        if self._checkpoint_every and m.requests % self._checkpoint_every == 0:
+            m.curve.append(
+                (m.requests, m.object_hit_ratio, m.byte_hit_ratio)
+            )
+
+    def on_admit(self, size: int) -> None:
+        if self._measuring:
+            self.metrics.admitted += 1
+
+    def on_bypass(self, size: int) -> None:
+        if self._measuring:
+            self.metrics.bypassed += 1
+
+    def on_evict(self, size: int) -> None:
+        if self._measuring:
+            self.metrics.evictions += 1
+            self.metrics.evicted_bytes += size
+
+    def finalize(self) -> ServeMetrics:
+        m = self.metrics
+        if self._latencies:
+            ordered = sorted(self._latencies)
+            m.mean_latency_ms = sum(ordered) / len(ordered)
+            m.p50_latency_ms = percentile(ordered, 0.50)
+            m.p99_latency_ms = percentile(ordered, 0.99)
+        return m

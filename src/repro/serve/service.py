@@ -1,0 +1,236 @@
+"""Asyncio cache front-end with a concurrent, *reproducible* driver.
+
+Real serving concurrency and reproducible science are usually at odds:
+if N client coroutines race on the cache, admission order — and
+therefore every hit-ratio number — depends on scheduler whims.  This
+module gets both:
+
+* **state mutation is sequenced** — each request carries its global
+  sequence number, and a ticket discipline (:class:`_Sequencer`) lets
+  clients interleave freely but forces lookup/admit/evict to happen in
+  sequence order.  ``num_clients=1`` and ``num_clients=64`` produce
+  bit-identical :class:`~repro.serve.metrics.ServeMetrics`;
+* **time is virtual** — request latency comes from a deterministic
+  model (:class:`Backend`): arrival times are ``seq x inter_arrival``,
+  a backend fetch costs base + bytes/bandwidth + a queueing penalty
+  per outstanding fetch, and outstanding fetches are tracked with a
+  heap of virtual completion times.  p99 latency is a property of the
+  *workload and policy*, not of the host machine's load.
+
+The miss-latency stream feeds the
+:class:`~repro.serve.agent.BackendObstructionMonitor`, closing the
+loop that makes the CHROME serve agent concurrency-aware: more misses
+-> deeper backend queues -> higher fetch latency -> obstructed tenants
+-> amplified no-re-request rewards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .agent import BackendObstructionMonitor
+from .metrics import MetricsRecorder, ServeMetrics
+from .policies import ServePolicy
+from .store import ObjectStore
+from .workloads import Request
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Virtual-time latency model (milliseconds / bytes-per-ms)."""
+
+    hit_base_ms: float = 0.1
+    hit_bytes_per_ms: float = 4 * 1024 * 1024  # ~4 GB/s from local cache
+    backend_base_ms: float = 6.0
+    backend_bytes_per_ms: float = 256 * 1024  # ~256 MB/s origin path
+    queue_penalty_ms: float = 0.25  # per outstanding backend fetch
+    inter_arrival_ms: float = 0.5
+
+    def hit_latency(self, size: int) -> float:
+        return self.hit_base_ms + size / self.hit_bytes_per_ms
+
+
+class Backend:
+    """Deterministic origin model: latency grows with fetch concurrency."""
+
+    def __init__(self, config: LatencyConfig) -> None:
+        self.config = config
+        self._completions: List[float] = []  # min-heap of virtual finish times
+        self.fetches = 0
+        self.bytes_fetched = 0
+
+    def fetch(self, size: int, now_ms: float) -> Tuple[float, int]:
+        """Issue a fetch at virtual time ``now_ms``.
+
+        Returns ``(latency_ms, outstanding)`` where ``outstanding`` is
+        the number of fetches still in flight at issue time — the
+        concurrency signal the latency penalty and the obstruction
+        monitor key off.
+        """
+        completions = self._completions
+        while completions and completions[0] <= now_ms:
+            heapq.heappop(completions)
+        outstanding = len(completions)
+        cfg = self.config
+        latency = (
+            cfg.backend_base_ms
+            + size / cfg.backend_bytes_per_ms
+            + cfg.queue_penalty_ms * outstanding
+        )
+        heapq.heappush(completions, now_ms + latency)
+        self.fetches += 1
+        self.bytes_fetched += size
+        return latency, outstanding
+
+
+class _Sequencer:
+    """Ticket lock over request sequence numbers (asyncio Condition)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._cond = asyncio.Condition()
+
+    async def turn(self, seq: int) -> None:
+        async with self._cond:
+            await self._cond.wait_for(lambda: self._next == seq)
+
+    async def advance(self) -> None:
+        async with self._cond:
+            self._next += 1
+            self._cond.notify_all()
+
+
+class CacheService:
+    """The serving front-end: lookup, origin fetch, admission, metrics.
+
+    :meth:`process` is the synchronous per-request core — everything
+    that touches shared state.  The async driver wraps it in the ticket
+    discipline; :func:`replay_requests` calls it in a plain loop.  Both
+    produce identical results by construction (and by test).
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        latency: Optional[LatencyConfig] = None,
+        monitor: Optional[BackendObstructionMonitor] = None,
+        recorder: Optional[MetricsRecorder] = None,
+        warmup_requests: int = 0,
+    ) -> None:
+        self.store = store
+        self.latency = latency or LatencyConfig()
+        self.backend = Backend(self.latency)
+        self.monitor = monitor or BackendObstructionMonitor(
+            self.latency.backend_base_ms
+        )
+        self.recorder = recorder
+        self.warmup_requests = warmup_requests
+        if recorder is not None:
+            store.recorder = recorder
+            recorder.set_measuring(warmup_requests == 0)
+        # Let learned policies see the obstruction signal.
+        bind = getattr(store.policy, "bind_obstruction", None)
+        if callable(bind):
+            bind(self.monitor)
+
+    def process(self, seq: int, req: Request) -> bool:
+        """Serve one request at its virtual arrival time; returns hit."""
+        recorder = self.recorder
+        if recorder is not None and seq == self.warmup_requests:
+            recorder.set_measuring(True)
+        now_ms = seq * self.latency.inter_arrival_ms
+        hit = self.store.lookup(req)
+        outstanding = 0
+        if hit:
+            latency = self.latency.hit_latency(req.size)
+        else:
+            latency, outstanding = self.backend.fetch(req.size, now_ms)
+            self.monitor.observe(req.tenant, latency)
+            self.store.admit(req)
+        if recorder is not None:
+            recorder.on_request(req.tenant, req.size, hit, latency, outstanding)
+        return hit
+
+
+async def _client(
+    service: CacheService,
+    sequencer: _Sequencer,
+    assigned: Sequence[Tuple[int, Request]],
+) -> None:
+    for seq, req in assigned:
+        await sequencer.turn(seq)
+        hit = service.process(seq, req)
+        await sequencer.advance()
+        if not hit:
+            # A miss awaits its origin fetch: yield so other clients
+            # run ahead — real interleaving, deterministic results.
+            await asyncio.sleep(0)
+
+
+async def _drive(
+    service: CacheService, requests: Sequence[Request], num_clients: int
+) -> None:
+    # Round-robin assignment: client i serves requests i, i+N, i+2N, ...
+    assignments: List[List[Tuple[int, Request]]] = [
+        [] for _ in range(num_clients)
+    ]
+    for seq, req in enumerate(requests):
+        assignments[seq % num_clients].append((seq, req))
+    sequencer = _Sequencer()
+    await asyncio.gather(
+        *(_client(service, sequencer, a) for a in assignments if a)
+    )
+
+
+def replay_requests(
+    service: CacheService, requests: Sequence[Request]
+) -> None:
+    """Synchronous reference loop (same results as the async driver)."""
+    process = service.process
+    for seq, req in enumerate(requests):
+        process(seq, req)
+
+
+def run_service(
+    requests: Sequence[Request],
+    policy: ServePolicy,
+    capacity_bytes: int,
+    num_segments: int,
+    *,
+    num_clients: int = 8,
+    warmup_requests: int = 0,
+    latency: Optional[LatencyConfig] = None,
+    checkpoint_every: int = 0,
+    workload_name: str = "",
+) -> ServeMetrics:
+    """Run a request stream through the concurrent service, end to end.
+
+    ``num_clients`` controls only the *concurrency shape* of the
+    driver; metrics are bit-identical for any client count (this is the
+    serve layer's ``--jobs 1`` vs ``--jobs N`` determinism guarantee).
+    The first ``warmup_requests`` requests flow through the cache but
+    are excluded from the reported metrics, mirroring the simulator's
+    warmup convention.
+    """
+    recorder = MetricsRecorder(
+        policy=policy.name,
+        workload=workload_name,
+        checkpoint_every=checkpoint_every,
+    )
+    store = ObjectStore(capacity_bytes, num_segments, policy)
+    service = CacheService(
+        store,
+        latency=latency,
+        recorder=recorder,
+        warmup_requests=warmup_requests,
+    )
+    if num_clients <= 1:
+        replay_requests(service, requests)
+    else:
+        asyncio.run(_drive(service, requests, num_clients))
+    metrics = recorder.finalize()
+    metrics.telemetry = dict(policy.telemetry())
+    return metrics

@@ -1,0 +1,375 @@
+"""Request-stream generators for the object-cache serving layer.
+
+The serving layer replays *request traces* the way the simulator
+replays memory traces: a workload is a deterministic, seeded list of
+:class:`Request` records, so every policy sees byte-identical traffic
+and results are reproducible across processes (the engine's ``--jobs``
+determinism guarantee extends to serve experiments).
+
+Key-space conventions
+---------------------
+Object sizes are a *pure function of the key* (``object_size``): a key
+always has the same size no matter which generator, phase or tenant
+touches it — exactly like a real origin where ``GET /obj/123`` returns
+the same body.  Generators carve disjoint key ranges per role (core
+zipf set, scan sweeps, per-phase working sets, per-tenant namespaces)
+so streams never alias by accident.
+
+Generators (registered in :data:`WORKLOADS`):
+
+* ``zipf``        — stationary Zipf(alpha) popularity over a fixed key set;
+* ``zipf_scan``   — Zipf foreground polluted by periodic one-shot scan
+  bursts of large objects (the classic LRU-killer);
+* ``bursty``      — hot-spot bursts: a small hot set that is replaced
+  every burst, over a Zipf background;
+* ``phases``      — diurnal phase changes: the popularity ranking is
+  re-drawn each phase, shifting the working set;
+* ``multitenant`` — interleaved per-tenant streams with different
+  behaviours (Zipf tenant, scanning tenant, bursty tenant, ...).
+
+A small fraction of requests can be marked ``is_refresh``: proactive
+re-fetches of recently popular objects issued by the cache itself (the
+software analogue of prefetches — same provenance split CHROME's
+rewards use for demand vs. prefetch).
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..sim.address import mix_hash
+
+_MASK64 = (1 << 64) - 1
+
+# Disjoint key-space bases (48-bit namespaces; tenant id sits above).
+_ZIPF_BASE = 0
+_SCAN_BASE = 1 << 40
+_BURST_BASE = 2 << 40
+_PHASE_BASE = 3 << 40
+_TENANT_SHIFT = 48
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One cache request: a key, its object size, and provenance."""
+
+    key: int
+    size: int
+    tenant: int = 0
+    is_refresh: bool = False
+
+
+# --- object sizes -------------------------------------------------------------
+
+#: size classes (bytes) and their mixture weights: mostly small-to-medium
+#: web-object sizes with a heavy tail, binned so the distribution is
+#: reproducible without floating-point transcendentals.
+_SIZE_CLASSES: Tuple[Tuple[int, int], ...] = (
+    (128, 20),
+    (512, 25),
+    (2 << 10, 22),
+    (8 << 10, 15),
+    (16 << 10, 10),
+    (32 << 10, 8),
+)
+_SIZE_TOTAL = sum(w for _, w in _SIZE_CLASSES)
+
+#: scan objects occupy their own size band *above* every regular class
+#: (disjoint log2 buckets): byte-capacity pollution is concentrated in
+#: sizes that regular traffic never uses, like real batch/backup sweeps
+_SCAN_SIZES: Tuple[int, ...] = (64 << 10, 80 << 10, 96 << 10)
+
+
+def object_size(key: int) -> int:
+    """Deterministic per-key size draw (stable across runs/processes).
+
+    Keys in scan namespaces draw from the large-object classes; all
+    other keys draw from the mixed web-object distribution.  The size
+    is jittered within its class so byte accounting is not quantized.
+    """
+    h = mix_hash(key * 0x9E3779B97F4A7C15 & _MASK64)
+    if (key >> 40) & 0xFF == _SCAN_BASE >> 40:
+        base = _SCAN_SIZES[h % len(_SCAN_SIZES)]
+    else:
+        pick = h % _SIZE_TOTAL
+        base = _SIZE_CLASSES[-1][0]
+        for size, weight in _SIZE_CLASSES:
+            if pick < weight:
+                base = size
+                break
+            pick -= weight
+    jitter = (h >> 32) % max(1, base // 4)
+    return base + jitter
+
+
+# --- popularity sampling ------------------------------------------------------
+
+
+def _zipf_cdf(num_keys: int, alpha: float) -> List[float]:
+    """Cumulative Zipf(alpha) weights over ranks 1..num_keys."""
+    acc = 0.0
+    cdf: List[float] = []
+    for rank in range(1, num_keys + 1):
+        acc += rank**-alpha
+        cdf.append(acc)
+    total = cdf[-1]
+    return [c / total for c in cdf]
+
+
+class _ZipfSampler:
+    """Seeded Zipf sampler over a permuted key set (rank != key order)."""
+
+    def __init__(
+        self, rng: random.Random, num_keys: int, alpha: float, base: int
+    ) -> None:
+        self._cdf = _zipf_cdf(num_keys, alpha)
+        self._keys = [base + i for i in range(num_keys)]
+        rng.shuffle(self._keys)  # decorrelate popularity rank from key value
+
+    def sample(self, rng: random.Random) -> int:
+        return self._keys[bisect_left(self._cdf, rng.random())]
+
+    def top(self, count: int) -> List[int]:
+        return self._keys[:count]
+
+
+def _maybe_refresh(
+    rng: random.Random,
+    out: List[Request],
+    recent_hot: Sequence[int],
+    refresh_fraction: float,
+    tenant: int,
+) -> None:
+    """Emit a proactive refresh of a recently popular object."""
+    if refresh_fraction > 0.0 and recent_hot and rng.random() < refresh_fraction:
+        key = recent_hot[rng.randrange(len(recent_hot))]
+        out.append(Request(key, object_size(key), tenant=tenant, is_refresh=True))
+
+
+# --- generators ---------------------------------------------------------------
+
+
+def zipf_requests(
+    num_requests: int,
+    seed: int = 0,
+    *,
+    num_keys: int = 4096,
+    alpha: float = 0.9,
+    tenant: int = 0,
+    refresh_fraction: float = 0.02,
+) -> List[Request]:
+    """Stationary Zipf popularity over a fixed key set."""
+    rng = random.Random((seed << 8) ^ 0x5E21F)
+    tenant_base = tenant << _TENANT_SHIFT
+    sampler = _ZipfSampler(rng, num_keys, alpha, tenant_base + _ZIPF_BASE)
+    hot = sampler.top(max(8, num_keys // 64))
+    out: List[Request] = []
+    while len(out) < num_requests:
+        key = sampler.sample(rng)
+        out.append(Request(key, object_size(key), tenant=tenant))
+        _maybe_refresh(rng, out, hot, refresh_fraction, tenant)
+    return out[:num_requests]
+
+
+def zipf_scan_requests(
+    num_requests: int,
+    seed: int = 0,
+    *,
+    num_keys: int = 4096,
+    alpha: float = 0.9,
+    scan_every: int = 400,
+    scan_length: int = 120,
+    tenant: int = 0,
+    refresh_fraction: float = 0.02,
+) -> List[Request]:
+    """Zipf foreground with periodic one-shot scans of large objects.
+
+    Every ``scan_every`` foreground requests, a burst of ``scan_length``
+    *never-repeated* large objects sweeps through (think batch jobs or
+    crawlers) — admission-blind policies let it flush the byte budget.
+    """
+    rng = random.Random((seed << 8) ^ 0x5CA17)
+    tenant_base = tenant << _TENANT_SHIFT
+    sampler = _ZipfSampler(rng, num_keys, alpha, tenant_base + _ZIPF_BASE)
+    hot = sampler.top(max(8, num_keys // 64))
+    out: List[Request] = []
+    scan_cursor = tenant_base + _SCAN_BASE
+    since_scan = 0
+    while len(out) < num_requests:
+        if since_scan >= scan_every:
+            for _ in range(scan_length):
+                key = scan_cursor
+                scan_cursor += 1
+                out.append(Request(key, object_size(key), tenant=tenant))
+            since_scan = 0
+            continue
+        key = sampler.sample(rng)
+        out.append(Request(key, object_size(key), tenant=tenant))
+        since_scan += 1
+        _maybe_refresh(rng, out, hot, refresh_fraction, tenant)
+    return out[:num_requests]
+
+
+def bursty_requests(
+    num_requests: int,
+    seed: int = 0,
+    *,
+    num_keys: int = 4096,
+    alpha: float = 0.8,
+    burst_every: int = 600,
+    burst_length: int = 200,
+    hot_set_size: int = 24,
+    tenant: int = 0,
+) -> List[Request]:
+    """Hot-spot bursts over a Zipf background.
+
+    Each burst hammers a small, freshly drawn hot set (a trending
+    object going viral) then abandons it for the next one.
+    """
+    rng = random.Random((seed << 8) ^ 0xB0057)
+    tenant_base = tenant << _TENANT_SHIFT
+    sampler = _ZipfSampler(rng, num_keys, alpha, tenant_base + _ZIPF_BASE)
+    out: List[Request] = []
+    burst_id = 0
+    position = 0
+    while len(out) < num_requests:
+        if position and position % burst_every == 0:
+            burst_id += 1
+            hot = [
+                tenant_base + _BURST_BASE + burst_id * 4096 + i
+                for i in range(hot_set_size)
+            ]
+            for _ in range(burst_length):
+                key = hot[rng.randrange(hot_set_size)]
+                out.append(Request(key, object_size(key), tenant=tenant))
+        key = sampler.sample(rng)
+        out.append(Request(key, object_size(key), tenant=tenant))
+        position += 1
+    return out[:num_requests]
+
+
+def phase_requests(
+    num_requests: int,
+    seed: int = 0,
+    *,
+    num_keys: int = 4096,
+    alpha: float = 0.9,
+    num_phases: int = 4,
+    tenant: int = 0,
+    refresh_fraction: float = 0.02,
+) -> List[Request]:
+    """Diurnal phases: each phase re-draws the popularity ranking.
+
+    Within a phase the stream is stationary Zipf; at a phase boundary a
+    fresh key set becomes popular (morning news vs. evening video), so
+    policies must adapt instead of trusting stale frequency counts.
+    """
+    rng = random.Random((seed << 8) ^ 0xD1A17)
+    tenant_base = tenant << _TENANT_SHIFT
+    per_phase = max(1, num_requests // num_phases)
+    out: List[Request] = []
+    for phase in range(num_phases):
+        base = tenant_base + _PHASE_BASE + phase * (num_keys * 4)
+        sampler = _ZipfSampler(rng, num_keys, alpha, base)
+        hot = sampler.top(max(8, num_keys // 64))
+        target = num_requests if phase == num_phases - 1 else (phase + 1) * per_phase
+        while len(out) < target:
+            key = sampler.sample(rng)
+            out.append(Request(key, object_size(key), tenant=tenant))
+            _maybe_refresh(rng, out, hot, refresh_fraction, tenant)
+    return out[:num_requests]
+
+
+def multitenant_requests(
+    num_requests: int,
+    seed: int = 0,
+    *,
+    num_tenants: int = 4,
+    num_keys: int = 2048,
+) -> List[Request]:
+    """Interleaved tenants with different behaviours sharing one cache.
+
+    Tenant 0 is a well-behaved Zipf service, tenant 1 a scanner (batch
+    analytics), tenant 2 bursty (social traffic), further tenants are
+    Zipf with decreasing traffic share.  The interleave is a seeded
+    weighted shuffle, so cross-tenant contention is reproducible.
+    """
+    rng = random.Random((seed << 8) ^ 0x7E4A47)
+    shares = [max(1, 8 >> t) for t in range(num_tenants)]  # 8,4,2,1,1,...
+    total_share = sum(shares)
+    per_tenant = [
+        max(1, num_requests * share // total_share) for share in shares
+    ]
+    # Integer shares round down; tenant 0 absorbs the shortfall so the
+    # merged stream always has exactly num_requests entries.
+    shortfall = num_requests - sum(per_tenant)
+    if shortfall > 0:
+        per_tenant[0] += shortfall
+    streams: List[List[Request]] = []
+    for tenant in range(num_tenants):
+        n = per_tenant[tenant]
+        if tenant == 1:
+            streams.append(
+                zipf_scan_requests(
+                    n, seed=seed + 101 * tenant, num_keys=num_keys,
+                    scan_every=150, scan_length=100, tenant=tenant,
+                )
+            )
+        elif tenant == 2:
+            streams.append(
+                bursty_requests(
+                    n, seed=seed + 101 * tenant, num_keys=num_keys, tenant=tenant
+                )
+            )
+        else:
+            streams.append(
+                zipf_requests(
+                    n, seed=seed + 101 * tenant, num_keys=num_keys, tenant=tenant
+                )
+            )
+    # Weighted merge: pop from a random non-empty stream, weighted by
+    # how many requests it still owes — preserves per-stream order.
+    cursors = [0] * num_tenants
+    out: List[Request] = []
+    while len(out) < num_requests:
+        remaining = [len(s) - c for s, c in zip(streams, cursors)]
+        total = sum(remaining)
+        if total == 0:
+            break
+        pick = rng.randrange(total)
+        for tenant, rem in enumerate(remaining):
+            if pick < rem:
+                out.append(streams[tenant][cursors[tenant]])
+                cursors[tenant] += 1
+                break
+            pick -= rem
+    return out[:num_requests]
+
+
+# --- registry -----------------------------------------------------------------
+
+WorkloadFn = Callable[..., List[Request]]
+
+WORKLOADS: Dict[str, WorkloadFn] = {
+    "zipf": zipf_requests,
+    "zipf_scan": zipf_scan_requests,
+    "bursty": bursty_requests,
+    "phases": phase_requests,
+    "multitenant": multitenant_requests,
+}
+
+
+def build_workload(
+    name: str, num_requests: int, seed: int = 0, **params
+) -> List[Request]:
+    """Build a named request stream (the :class:`ServeJob` entry point)."""
+    try:
+        fn = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return fn(num_requests, seed, **params)

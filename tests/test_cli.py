@@ -12,10 +12,28 @@ def test_list_prints_experiments(capsys):
         assert expected in out
 
 
+def test_list_prints_every_registered_id(capsys):
+    from repro.experiments import available_experiments
+
+    assert main(["list"]) == 0
+    printed = capsys.readouterr().out.splitlines()
+    for experiment_id in available_experiments():
+        assert experiment_id in printed, experiment_id
+
+
+def test_list_includes_serve_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.splitlines()
+    for expected in ("serve_zipf", "serve_multitenant", "serve_phases"):
+        assert expected in out
+
+
 def test_run_unknown_experiment_errors(capsys):
     assert main(["run", "fig99"]) == 2
     err = capsys.readouterr().err
     assert "unknown" in err
+    # the error is actionable: it lists what *is* runnable
+    assert "available" in err and "fig6" in err and "serve_zipf" in err
 
 
 def test_run_analytic_table(capsys):

@@ -157,6 +157,61 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path):
     assert cache.get(job) is None
 
 
+def test_corrupt_cache_entry_is_deleted_and_reexecuted(tmp_path):
+    """A garbage cache file (truncated write, disk hiccup) must be
+    treated as a miss: the engine re-executes the job and replaces the
+    entry with a valid one."""
+    seed_engine = Engine(workers=1, cache_dir=str(tmp_path))
+    job = _job()
+    good = seed_engine.run_jobs([job])[job]
+
+    cache = ResultCache(tmp_path)
+    # Truncated pickle: the first bytes of a valid entry.
+    cache.path(job).write_bytes(cache.path(job).read_bytes()[:20])
+
+    engine = Engine(workers=1, cache_dir=str(tmp_path))
+    recovered = engine.run_jobs([job])[job]
+    assert engine.stats.executed == 1  # re-ran, didn't trust the garbage
+    assert engine.stats.disk_hits == 0
+    assert recovered.ipcs == good.ipcs
+    # ...and the entry was healed on disk.
+    healed = ResultCache(tmp_path).get(job)
+    assert healed is not None and healed.ipcs == good.ipcs
+
+
+def test_cache_prune_removes_oldest_entries(tmp_path):
+    import os
+    import time
+
+    cache = ResultCache(tmp_path)
+    jobs = [_job(scale=MICRO.with_overrides(accesses_per_core=200 + i)) for i in range(4)]
+    result = execute_job(jobs[0])  # representative payload; content is irrelevant
+    for i, job in enumerate(jobs):
+        cache.put(job, result)
+        # mtimes must be distinct for a deterministic eviction order
+        os.utime(cache.path(job), (time.time() - 100 + i, time.time() - 100 + i))
+
+    assert cache.prune(2) == 2
+    assert len(cache) == 2
+    assert cache.get(jobs[0]) is None and cache.get(jobs[1]) is None
+    assert cache.get(jobs[2]) is not None and cache.get(jobs[3]) is not None
+
+
+def test_cache_prune_noop_when_under_limit(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = _job()
+    cache.put(job, execute_job(job))
+    assert cache.prune(10) == 0
+    assert len(cache) == 1
+    assert cache.prune(0) == 1  # prune everything is legal
+    assert len(cache) == 0
+
+
+def test_cache_prune_rejects_negative_limit(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(tmp_path).prune(-1)
+
+
 # --- job specs ---------------------------------------------------------------
 
 

@@ -26,11 +26,13 @@ from pathlib import Path
 import pytest
 
 from repro.core.chrome import ChromePolicy
+from repro.serve.jobs import ServeJob
 from repro.sim.multicore import MultiCoreSystem, SystemConfig
 from repro.sim.replacement.lru import LRUPolicy
 from repro.traces.mixes import heterogeneous_mix, homogeneous_mix
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "determinism.json"
+SERVE_GOLDEN_PATH = Path(__file__).parent / "golden" / "serve_determinism.json"
 
 # Small machine (1/64 of Table V) so the whole suite runs in seconds;
 # the capacity ratios the policies react to are preserved.
@@ -116,6 +118,65 @@ def compute_golden() -> dict:
     }
 
 
+def _serve_stats(metrics) -> dict:
+    """Every stat a serve run reports, floats repr'd for exactness."""
+    return {
+        "policy": metrics.policy,
+        "workload": metrics.workload,
+        "requests": metrics.requests,
+        "hits": metrics.hits,
+        "bytes_requested": metrics.bytes_requested,
+        "bytes_hit": metrics.bytes_hit,
+        "backend_fetches": metrics.backend_fetches,
+        "backend_bytes": metrics.backend_bytes,
+        "admitted": metrics.admitted,
+        "bypassed": metrics.bypassed,
+        "evictions": metrics.evictions,
+        "evicted_bytes": metrics.evicted_bytes,
+        "peak_outstanding": metrics.peak_outstanding,
+        "mean_latency_ms": repr(metrics.mean_latency_ms),
+        "p50_latency_ms": repr(metrics.p50_latency_ms),
+        "p99_latency_ms": repr(metrics.p99_latency_ms),
+        "per_tenant": {
+            str(t): [tm.requests, tm.hits, tm.bytes_requested, tm.bytes_hit]
+            for t, tm in sorted(metrics.per_tenant.items())
+        },
+        "curve": [[n, repr(ohr), repr(bhr)] for n, ohr, bhr in metrics.curve],
+        "telemetry": {k: repr(v) for k, v in sorted(metrics.telemetry.items())},
+    }
+
+
+def _serve_case(workload: str, policy: str) -> dict:
+    job = ServeJob(
+        workload=workload,
+        policy=policy,
+        num_requests=1200,
+        warmup_requests=200,
+        capacity_bytes=2 << 20,
+        num_segments=64,
+        num_clients=5,
+        seed=17,
+        checkpoint_every=400,
+    )
+    return _serve_stats(job.execute())
+
+
+def compute_serve_golden() -> dict:
+    """Fixed-seed serve runs pinning the serving layer's behavior.
+
+    Covers both learned and classic policies, the multi-tenant
+    accounting, and the hit-ratio curve — through the *concurrent*
+    driver (num_clients=5), so the golden also pins the sequenced-
+    asyncio path.
+    """
+    return {
+        "lru_zipf_scan": _serve_case("zipf_scan", "lru"),
+        "chrome_zipf_scan": _serve_case("zipf_scan", "chrome"),
+        "chrome_multitenant": _serve_case("multitenant", "chrome"),
+        "s3fifo_phases": _serve_case("phases", "s3fifo"),
+    }
+
+
 @pytest.fixture(scope="module")
 def computed() -> dict:
     return compute_golden()
@@ -149,6 +210,47 @@ def test_repeated_run_is_deterministic(computed: dict) -> None:
     assert again == computed
 
 
+@pytest.fixture(scope="module")
+def serve_computed() -> dict:
+    return compute_serve_golden()
+
+
+@pytest.fixture(scope="module")
+def serve_golden() -> dict:
+    assert SERVE_GOLDEN_PATH.exists(), (
+        f"missing golden file {SERVE_GOLDEN_PATH}; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_determinism.py --regenerate`"
+    )
+    return json.loads(SERVE_GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize(
+    "case",
+    [
+        "lru_zipf_scan",
+        "chrome_zipf_scan",
+        "chrome_multitenant",
+        "s3fifo_phases",
+    ],
+)
+def test_serve_stats_bit_identical(
+    case: str, serve_computed: dict, serve_golden: dict
+) -> None:
+    assert serve_computed[case] == serve_golden[case], (
+        f"{case}: serve behavior diverged from the committed golden "
+        "(this is also what `--jobs 1` vs `--jobs N` identity rests "
+        "on).  If the change is intentionally behavior-altering, "
+        "regenerate with `PYTHONPATH=src python "
+        "tests/test_golden_determinism.py --regenerate` and justify "
+        "the diff."
+    )
+
+
+def test_serve_repeated_run_is_deterministic(serve_computed: dict) -> None:
+    again = compute_serve_golden()
+    assert again == serve_computed
+
+
 def main() -> None:  # pragma: no cover - maintenance helper
     import argparse
 
@@ -166,6 +268,10 @@ def main() -> None:  # pragma: no cover - maintenance helper
         json.dumps(compute_golden(), indent=1, sort_keys=True) + "\n"
     )
     print(f"wrote {GOLDEN_PATH}")
+    SERVE_GOLDEN_PATH.write_text(
+        json.dumps(compute_serve_golden(), indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {SERVE_GOLDEN_PATH}")
 
 
 if __name__ == "__main__":  # pragma: no cover
