@@ -72,9 +72,11 @@ class ResultCache:
 
         Oldest entries (by modification time — a disk hit does not
         refresh it, so this is insertion order for practical purposes)
-        are deleted first.  Returns the number of entries removed;
-        entries deleted concurrently by another process are skipped,
-        never raised.
+        are deleted first; mtime ties break on filename, so the
+        eviction order is fully deterministic even on filesystems with
+        coarse timestamps (entries written within one tick).  Returns
+        the number of entries removed; entries deleted concurrently by
+        another process are skipped, never raised.
         """
         if max_entries < 0:
             raise ValueError("max_entries must be >= 0")

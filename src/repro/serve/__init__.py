@@ -11,15 +11,32 @@ interface (:mod:`.policies`), seeded request generators
 bit-identical under any client concurrency (:mod:`.service`), and
 operator metrics (:mod:`.metrics`).
 
+Chaos engineering rides on top: :mod:`.faults` injects deterministic,
+virtual-time backend misbehavior (latency spikes, error bursts, full
+outages, per-tenant brownouts, post-recovery slow start) and
+:mod:`.resilience` supplies graceful degradation (per-request timeout,
+retries with seeded-jitter backoff, a per-tenant circuit breaker,
+stale serving, load shedding) — all bit-identical at any client count.
+
 Importing this package registers the ``serve_zipf``,
-``serve_multitenant`` and ``serve_phases`` experiments with the
-shared registry; their :class:`~repro.serve.jobs.ServeJob` specs run
-on the parallel experiment engine like every paper figure.
+``serve_multitenant``, ``serve_phases`` and ``serve_faults``
+experiments with the shared registry; their
+:class:`~repro.serve.jobs.ServeJob` specs run on the parallel
+experiment engine like every paper figure.
 """
 
 from .agent import BackendObstructionMonitor, ChromeServePolicy, ServeAgent
+from .faults import FaultConfig, FaultInjector
 from .jobs import SERVE_CODE_VERSION, ServeJob
 from .metrics import MetricsRecorder, ServeMetrics, TenantMetrics
+from .resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    ResilienceConfig,
+    ResilienceState,
+)
 from .policies import (
     SERVE_POLICIES,
     GDSFServePolicy,
@@ -37,11 +54,17 @@ from .workloads import WORKLOADS, Request, build_workload, object_size
 from . import experiments as _experiments  # noqa: F401  (eager registration)
 
 __all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
     "Backend",
     "BackendObstructionMonitor",
     "CacheService",
     "CachedObject",
     "ChromeServePolicy",
+    "CircuitBreaker",
+    "FaultConfig",
+    "FaultInjector",
     "GDSFServePolicy",
     "LFUServePolicy",
     "LRUServePolicy",
@@ -49,6 +72,8 @@ __all__ = [
     "MetricsRecorder",
     "ObjectStore",
     "Request",
+    "ResilienceConfig",
+    "ResilienceState",
     "S3FIFOServePolicy",
     "SERVE_CODE_VERSION",
     "SERVE_POLICIES",

@@ -128,6 +128,19 @@ class BackendObstructionMonitor:
         prev = self._ewma.get(tenant, self.baseline_ms)
         self._ewma[tenant] = prev + self.beta * (latency_ms - prev)
 
+    def observe_failure(self, tenant: int, latency_ms: float) -> None:
+        """A failed/denied origin fetch — the strongest obstruction signal.
+
+        Fault-inflated and failed fetches are *real* concurrency
+        information, not noise: a tenant whose origin shard is erroring
+        or browned out is exactly where a wasted cache slot hurts most.
+        The observation is floored at the obstruction threshold so a
+        fast-fail (whose response latency is tiny) still drives the
+        EWMA toward the obstructed region instead of *washing it out*.
+        """
+        floor = self.baseline_ms * self.threshold * 2.0
+        self.observe(tenant, latency_ms if latency_ms > floor else floor)
+
     def is_obstructed(self, tenant: int) -> bool:
         ewma = self._ewma.get(tenant)
         if ewma is None:

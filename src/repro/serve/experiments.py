@@ -1,6 +1,6 @@
 """Serve experiments: CHROME vs. classic policies on the PR-1 engine.
 
-Three experiments register at import time (importing
+Four experiments register at import time (importing
 :mod:`repro.experiments` — or :mod:`repro.serve` — is enough), each a
 declarative :class:`~repro.experiments.engine.ExperimentPlan` over
 :class:`~repro.serve.jobs.ServeJob` specs:
@@ -12,7 +12,11 @@ declarative :class:`~repro.experiments.engine.ExperimentPlan` over
   scanner, bursty, light Zipf) sharing one cache; per-tenant byte hit
   ratios show who wins and who starves;
 * ``serve_phases``      — diurnal popularity shifts: stale-frequency
-  traps for LFU-like policies, adaptation speed for the agent.
+  traps for LFU-like policies, adaptation speed for the agent;
+* ``serve_faults``      — chaos run: deterministic outages, error
+  bursts and latency spikes against a resilient (timeout/retry/
+  breaker/stale/shed) vs. a naive configuration of the same policy —
+  graceful degradation, quantified.
 
 Run sizes map from the shared :class:`ExperimentScale`: CLI/env knobs
 (``--accesses``, ``--warmup``, ``REPRO_SCALE``...) scale serve
@@ -23,6 +27,7 @@ memoization for free.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Mapping, Tuple
 
 from ..experiments.engine import ExperimentPlan
@@ -163,6 +168,128 @@ def serve_phases_plan(scale: ExperimentScale) -> ExperimentPlan:
     )
 
 
+"""Chaos scenario: all window widths scale with the run's virtual
+horizon, so ~the same number of outages hit a CI-sized run and a
+full-scale one.  ``INTER_ARRIVAL_MS`` mirrors LatencyConfig's default
+(the virtual horizon of N requests is ``N * inter_arrival``)."""
+INTER_ARRIVAL_MS = 0.5
+
+#: policies the chaos experiment stresses (baseline + learned)
+FAULT_POLICIES: Tuple[str, ...] = ("lru", "chrome")
+
+
+def chaos_fault_params(scale: ExperimentScale) -> Tuple[Tuple[str, object], ...]:
+    """The pinned ``serve_faults`` fault model at a given run scale."""
+    horizon = (scale.accesses_per_core + scale.warmup_per_core) * INTER_ARRIVAL_MS
+    return (
+        ("seed", 1),
+        ("error_rate", 0.01),
+        ("spike_rate", 0.02),
+        ("spike_multiplier", 8.0),
+        ("burst_every_ms", round(horizon / 4.0, 3)),
+        ("burst_duration_ms", round(horizon / 30.0, 3)),
+        ("outage_every_ms", round(horizon / 3.0, 3)),
+        ("outage_duration_ms", round(horizon / 12.0, 3)),
+        ("recovery_ramp_ms", round(horizon / 24.0, 3)),
+        ("recovery_multiplier", 4.0),
+    )
+
+
+def resilient_params(scale: ExperimentScale) -> Tuple[Tuple[str, object], ...]:
+    """The graceful-degradation configuration under test.
+
+    Two knobs must be sized against the fault model, not picked in the
+    abstract:
+
+    * the breaker's open window sits well below the outage duration
+      (``horizon/12`` in :func:`chaos_fault_params`): the breaker's job
+      is to fast-fail *during* an outage, then rediscover recovery via
+      half-open probes within a few virtual ms of the origin coming
+      back — an open window wider than the outage keeps denying healthy
+      requests after recovery and *raises* the error rate above naive;
+    * the request latency budget (``timeout_ms``) sits below the naive
+      p99, so every degraded miss — retries, backoff and all — resolves
+      faster than the naive tail it replaces.
+    """
+    horizon = (scale.accesses_per_core + scale.warmup_per_core) * INTER_ARRIVAL_MS
+    return (
+        ("timeout_ms", 30.0),
+        ("shed_outstanding", 128),
+        ("breaker_open_ms", round(horizon / 120.0, 3)),
+    )
+
+#: the control group: one attempt, no breaker, no stale copies, no shed
+NAIVE_PARAMS: Tuple[Tuple[str, object], ...] = (("preset", "none"),)
+
+
+def serve_faults_plan(scale: ExperimentScale) -> ExperimentPlan:
+    fault_params = chaos_fault_params(scale)
+    jobs = {}
+    for policy in FAULT_POLICIES:
+        for mode, resilience_params in (
+            ("naive", NAIVE_PARAMS),
+            ("resilient", resilient_params(scale)),
+        ):
+            jobs[(policy, mode)] = replace(
+                _serve_job(scale, "zipf_scan", policy),
+                fault_params=fault_params,
+                resilience_params=resilience_params,
+            )
+
+    def assemble(results: Mapping[ServeJob, ServeMetrics]) -> ExperimentResult:
+        rows: List[List[object]] = []
+        notes: List[str] = []
+        for policy in FAULT_POLICIES:
+            for mode in ("naive", "resilient"):
+                m = results[jobs[(policy, mode)]]
+                rows.append(
+                    [
+                        policy,
+                        mode,
+                        round(100.0 * m.byte_hit_ratio, 2),
+                        round(100.0 * m.error_rate, 2),
+                        m.shed,
+                        m.stale_served,
+                        m.retries,
+                        m.breaker_opens,
+                        round(m.p99_latency_ms, 2),
+                        round(m.degraded_p99_latency_ms, 2),
+                    ]
+                )
+            naive = results[jobs[(policy, "naive")]]
+            resilient = results[jobs[(policy, "resilient")]]
+            notes.append(
+                f"{policy}: resilient error {100.0 * resilient.error_rate:.2f}% "
+                f"vs naive {100.0 * naive.error_rate:.2f}%, p99 "
+                f"{resilient.p99_latency_ms:.2f}ms vs "
+                f"{naive.p99_latency_ms:.2f}ms"
+            )
+        return ExperimentResult(
+            experiment_id="serve_faults",
+            title="object cache under injected outages: resilient vs. naive",
+            columns=[
+                "policy",
+                "mode",
+                "byte_hit%",
+                "error%",
+                "shed",
+                "stale",
+                "retries",
+                "breaker_opens",
+                "p99_ms",
+                "degraded_p99_ms",
+            ],
+            rows=rows,
+            notes=notes,
+        )
+
+    return ExperimentPlan(
+        experiment_id="serve_faults",
+        jobs=tuple(jobs.values()),
+        assemble=assemble,
+    )
+
+
 def serve_multitenant_plan(scale: ExperimentScale) -> ExperimentPlan:
     def tenant_notes(jobs, results):
         notes = []
@@ -188,6 +315,7 @@ SERVE_PLANS = {
     "serve_zipf": serve_zipf_plan,
     "serve_multitenant": serve_multitenant_plan,
     "serve_phases": serve_phases_plan,
+    "serve_faults": serve_faults_plan,
 }
 
 

@@ -16,8 +16,10 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..sim.address import mix_hash
+from .faults import FaultConfig
 from .metrics import ServeMetrics
 from .policies import make_serve_policy
+from .resilience import ResilienceConfig
 from .service import run_service
 from .workloads import build_workload
 
@@ -45,10 +47,16 @@ class ServeJob:
     workload_params: Tuple[Tuple[str, object], ...] = ()
     policy_params: Tuple[Tuple[str, object], ...] = ()
     checkpoint_every: int = 0
+    #: fault model (FaultConfig.params()); empty = no injection
+    fault_params: Tuple[Tuple[str, object], ...] = ()
+    #: degradation policy (ResilienceConfig.params()); empty = default
+    #: resilience when faults are injected, plain path otherwise
+    resilience_params: Tuple[Tuple[str, object], ...] = ()
 
     @property
     def label(self) -> str:
-        return f"serve:{self.workload} {self.policy}"
+        suffix = " +faults" if self.fault_params else ""
+        return f"serve:{self.workload} {self.policy}{suffix}"
 
     def canonical(self) -> Tuple:
         """Stable literal-only identity (cache key + dedup key)."""
@@ -66,6 +74,8 @@ class ServeJob:
             self.num_clients,
             self.seed,
             self.checkpoint_every,
+            self.fault_params,
+            self.resilience_params,
         )
 
     def build_policy(self):
@@ -83,6 +93,34 @@ class ServeJob:
             )
         return make_serve_policy(self.policy, **params)
 
+    def build_faults(self):
+        """FaultConfig from the spec (None when no faults requested)."""
+        if not self.fault_params:
+            return None
+        return FaultConfig(**dict(self.fault_params))
+
+    def build_resilience(self):
+        """ResilienceConfig from the spec.
+
+        ``("preset", "none")`` selects :meth:`ResilienceConfig.none`
+        (the no-resilience control group) with any remaining params
+        overriding it; an empty tuple returns None, which means
+        *default* resilience when faults are injected and the plain
+        request path otherwise.
+        """
+        if not self.resilience_params:
+            return None
+        params = dict(self.resilience_params)
+        preset = params.pop("preset", "default")
+        if preset == "none":
+            base = ResilienceConfig.none()
+            from dataclasses import replace
+
+            return replace(base, **params) if params else base
+        if preset != "default":
+            raise ValueError(f"unknown resilience preset {preset!r}")
+        return ResilienceConfig(**params)
+
     def execute(self) -> ServeMetrics:
         """Run this job from its spec alone (pure given the spec)."""
         total = self.num_requests + self.warmup_requests
@@ -98,4 +136,6 @@ class ServeJob:
             warmup_requests=self.warmup_requests,
             checkpoint_every=self.checkpoint_every,
             workload_name=self.workload,
+            faults=self.build_faults(),
+            resilience=self.build_resilience(),
         )

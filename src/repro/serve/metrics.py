@@ -10,7 +10,18 @@ cache reports
 * **backend load**     — origin fetches and bytes (misses the origin
   must absorb), plus the peak concurrent fetch depth;
 * **latency**          — mean/p50/p99 request latency in virtual
-  milliseconds from the deterministic latency model.
+  milliseconds from the deterministic latency model;
+* **degradation**      — what happened when the origin misbehaved:
+  errors, retries, timeouts, shed requests, stale serves, breaker
+  trips/denials, and a separate p99 over *degraded-mode* requests
+  (those served during a fault window, a breaker denial, or after
+  retries) so graceful degradation is quantifiable, not anecdotal.
+
+Request accounting is conservative by construction: every request ends
+in exactly one of {fresh hit, origin-served miss, stale serve, error,
+shed}, so ``hits + origin_served + stale_served + errors + shed ==
+requests`` always (the property suite sweeps this across policies,
+fault configs and client counts).
 
 :class:`ServeMetrics` is a plain picklable dataclass with value
 equality, so serve results flow through the engine's memo/disk caches
@@ -70,6 +81,19 @@ class ServeMetrics:
     mean_latency_ms: float = 0.0
     p50_latency_ms: float = 0.0
     p99_latency_ms: float = 0.0
+    #: misses served fresh from the origin (hit/origin/stale/error/shed
+    #: partition the request count — the conservation invariant)
+    origin_served: int = 0
+    #: degradation accounting (all zero on the healthy default path)
+    shed: int = 0
+    stale_served: int = 0
+    errors: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    breaker_opens: int = 0
+    breaker_denied: int = 0
+    degraded_requests: int = 0
+    degraded_p99_latency_ms: float = 0.0
     per_tenant: Dict[int, TenantMetrics] = field(default_factory=dict)
     #: cumulative (requests, object_hit_ratio, byte_hit_ratio) checkpoints
     curve: List[Tuple[int, float, float]] = field(default_factory=list)
@@ -91,6 +115,16 @@ class ServeMetrics:
             return 0.0
         return self.backend_bytes / self.bytes_requested
 
+    @property
+    def error_rate(self) -> float:
+        """Fraction of requests that ended in an error response."""
+        return self.errors / self.requests if self.requests else 0.0
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of requests served in degraded mode."""
+        return self.degraded_requests / self.requests if self.requests else 0.0
+
 
 class MetricsRecorder:
     """Streaming accumulator the service feeds once per request."""
@@ -100,6 +134,7 @@ class MetricsRecorder:
     ) -> None:
         self.metrics = ServeMetrics(policy=policy, workload=workload)
         self._latencies: List[float] = []
+        self._degraded_latencies: List[float] = []
         self._checkpoint_every = checkpoint_every
         self._measuring = True
 
@@ -133,6 +168,7 @@ class MetricsRecorder:
         else:
             m.backend_fetches += 1
             m.backend_bytes += size
+            m.origin_served += 1
             if outstanding > m.peak_outstanding:
                 m.peak_outstanding = outstanding
         self._latencies.append(latency_ms)
@@ -140,6 +176,68 @@ class MetricsRecorder:
             m.curve.append(
                 (m.requests, m.object_hit_ratio, m.byte_hit_ratio)
             )
+
+    # --- degraded outcomes (fault/resilience path only) ---------------------------
+
+    def _account_degraded(self, tenant: int, size: int, latency_ms: float) -> None:
+        """Shared request accounting for shed/stale/error responses."""
+        m = self.metrics
+        m.requests += 1
+        m.bytes_requested += size
+        t = m.per_tenant.get(tenant)
+        if t is None:
+            t = m.per_tenant[tenant] = TenantMetrics()
+        t.requests += 1
+        t.bytes_requested += size
+        self._latencies.append(latency_ms)
+        self._degraded_latencies.append(latency_ms)
+        if self._checkpoint_every and m.requests % self._checkpoint_every == 0:
+            m.curve.append(
+                (m.requests, m.object_hit_ratio, m.byte_hit_ratio)
+            )
+
+    def on_shed(self, tenant: int, size: int, latency_ms: float) -> None:
+        """The request was refused by admission control (fast 503)."""
+        if not self._measuring:
+            return
+        self.metrics.shed += 1
+        self._account_degraded(tenant, size, latency_ms)
+
+    def on_stale(self, tenant: int, size: int, latency_ms: float) -> None:
+        """A retained (stale) copy was served in place of the origin."""
+        if not self._measuring:
+            return
+        self.metrics.stale_served += 1
+        self._account_degraded(tenant, size, latency_ms)
+
+    def on_error(
+        self, tenant: int, size: int, latency_ms: float, breaker_denied: bool = False
+    ) -> None:
+        """The request failed: retries exhausted or breaker fast-fail."""
+        if not self._measuring:
+            return
+        self.metrics.errors += 1
+        if breaker_denied:
+            self.metrics.breaker_denied += 1
+        self._account_degraded(tenant, size, latency_ms)
+
+    def on_retry(self) -> None:
+        if self._measuring:
+            self.metrics.retries += 1
+
+    def on_timeout(self) -> None:
+        if self._measuring:
+            self.metrics.timeouts += 1
+
+    def on_breaker_open(self) -> None:
+        if self._measuring:
+            self.metrics.breaker_opens += 1
+
+    def note_degraded(self, latency_ms: float) -> None:
+        """A successfully served request that ran in degraded mode
+        (active fault window or half-open probe)."""
+        if self._measuring:
+            self._degraded_latencies.append(latency_ms)
 
     def on_admit(self, size: int) -> None:
         if self._measuring:
@@ -161,4 +259,8 @@ class MetricsRecorder:
             m.mean_latency_ms = sum(ordered) / len(ordered)
             m.p50_latency_ms = percentile(ordered, 0.50)
             m.p99_latency_ms = percentile(ordered, 0.99)
+        if self._degraded_latencies:
+            degraded = sorted(self._degraded_latencies)
+            m.degraded_requests = len(degraded)
+            m.degraded_p99_latency_ms = percentile(degraded, 0.99)
         return m

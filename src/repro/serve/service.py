@@ -22,6 +22,16 @@ The miss-latency stream feeds the
 loop that makes the CHROME serve agent concurrency-aware: more misses
 -> deeper backend queues -> higher fetch latency -> obstructed tenants
 -> amplified no-re-request rewards.
+
+Fault injection and graceful degradation (this PR) ride on the same
+discipline: a :class:`~repro.serve.faults.FaultInjector` decides each
+attempt's fate as a *pure function* of (seed, seq, attempt, virtual
+time), and the :class:`~repro.serve.resilience.ResilienceState`
+machinery (timeout, retries, breaker, stale serving, shedding) runs
+entirely inside the sequenced :meth:`CacheService.process` call — so
+chaos runs stay bit-identical at any client count.  When neither is
+configured, requests take the original code path untouched (the
+committed goldens pin that the default path did not move).
 """
 
 from __future__ import annotations
@@ -32,8 +42,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from .agent import BackendObstructionMonitor
+from .faults import FaultConfig, FaultInjector
 from .metrics import MetricsRecorder, ServeMetrics
 from .policies import ServePolicy
+from .resilience import ResilienceConfig, ResilienceState
 from .store import ObjectStore
 from .workloads import Request
 
@@ -85,6 +97,13 @@ class Backend:
         self.bytes_fetched += size
         return latency, outstanding
 
+    def outstanding(self, now_ms: float) -> int:
+        """Fetches still in flight at ``now_ms`` (no fetch issued)."""
+        completions = self._completions
+        while completions and completions[0] <= now_ms:
+            heapq.heappop(completions)
+        return len(completions)
+
 
 class _Sequencer:
     """Ticket lock over request sequence numbers (asyncio Condition)."""
@@ -119,6 +138,8 @@ class CacheService:
         monitor: Optional[BackendObstructionMonitor] = None,
         recorder: Optional[MetricsRecorder] = None,
         warmup_requests: int = 0,
+        faults: Optional[FaultConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self.store = store
         self.latency = latency or LatencyConfig()
@@ -128,6 +149,16 @@ class CacheService:
         )
         self.recorder = recorder
         self.warmup_requests = warmup_requests
+        self.injector = FaultInjector(faults) if faults is not None else None
+        # The degraded pipeline engages when faults are injected OR a
+        # resilience policy is explicitly requested; a plain service
+        # keeps the original (goldens-pinned) request path.
+        if faults is not None or resilience is not None:
+            self.resilience = ResilienceState(resilience or ResilienceConfig())
+            if self.resilience.config.stale_entries > 0:
+                store.evict_listener = self.resilience.retain_stale
+        else:
+            self.resilience = None
         if recorder is not None:
             store.recorder = recorder
             recorder.set_measuring(warmup_requests == 0)
@@ -138,6 +169,8 @@ class CacheService:
 
     def process(self, seq: int, req: Request) -> bool:
         """Serve one request at its virtual arrival time; returns hit."""
+        if self.resilience is not None:
+            return self._process_resilient(seq, req)
         recorder = self.recorder
         if recorder is not None and seq == self.warmup_requests:
             recorder.set_measuring(True)
@@ -153,6 +186,130 @@ class CacheService:
         if recorder is not None:
             recorder.on_request(req.tenant, req.size, hit, latency, outstanding)
         return hit
+
+    def _process_resilient(self, seq: int, req: Request) -> bool:
+        """The degraded-capable request pipeline (faults + resilience).
+
+        Shed -> breaker -> timeout/retry attempt loop -> stale fallback,
+        all in virtual time derived from ``seq``.  With no injector and
+        default resilience, every branch below reduces to the plain
+        path: same fetch call, same floats, bit-identical metrics (the
+        differential suite pins this).
+        """
+        recorder = self.recorder
+        if recorder is not None and seq == self.warmup_requests:
+            recorder.set_measuring(True)
+        now_ms = seq * self.latency.inter_arrival_ms
+        hit = self.store.lookup(req)
+        if hit:
+            # Cache hits are served locally: origin faults cannot touch
+            # them (that asymmetry is what stale-serving exploits).
+            latency = self.latency.hit_latency(req.size)
+            if recorder is not None:
+                recorder.on_request(req.tenant, req.size, True, latency, 0)
+            return True
+
+        res = self.resilience
+        cfg = res.config
+        injector = self.injector
+        degraded_window = (
+            injector.degraded(req.tenant, now_ms) if injector is not None else False
+        )
+
+        # 1. Load shedding: refuse new misses when the origin is drowning.
+        if res.should_shed(self.backend.outstanding(now_ms)):
+            if recorder is not None:
+                recorder.on_shed(req.tenant, req.size, cfg.error_latency_ms)
+            return False
+
+        # 2. Circuit breaker: an open breaker never touches the backend.
+        breaker = res.breaker(req.tenant)
+        allowed, probing = breaker.allow(now_ms)
+        if not allowed:
+            if res.stale_hit(req.key):
+                latency = self.latency.hit_latency(req.size) + cfg.stale_latency_ms
+                if recorder is not None:
+                    recorder.on_stale(req.tenant, req.size, latency)
+            else:
+                self.monitor.observe_failure(req.tenant, cfg.error_latency_ms)
+                if recorder is not None:
+                    recorder.on_error(
+                        req.tenant, req.size, cfg.error_latency_ms,
+                        breaker_denied=True,
+                    )
+            return False
+
+        # 3. Timed, retried origin fetch.  ``timeout_ms`` is a whole-
+        # request latency budget (deadline), not a per-attempt clock: an
+        # attempt still in flight at the deadline is abandoned there,
+        # and no retry starts without budget to run in.  This is what
+        # caps the resilient latency tail — a budget below the naive
+        # p99 guarantees degraded misses cannot out-wait naive ones.
+        budget = cfg.timeout_ms
+        total = 0.0
+        attempt = 0
+        success = False
+        peak_outstanding = 0
+        t = now_ms
+        while True:
+            attempt += 1
+            raw, outstanding = self.backend.fetch(req.size, t)
+            if outstanding > peak_outstanding:
+                peak_outstanding = outstanding
+            if injector is not None:
+                failed, multiplier = injector.decide(seq, attempt, req.tenant, t)
+            else:
+                failed, multiplier = False, 1.0
+            effective = raw * multiplier if multiplier != 1.0 else raw
+            timed_out = budget > 0.0 and total + effective > budget
+            if timed_out:
+                effective = budget - total
+                if recorder is not None:
+                    recorder.on_timeout()
+            total += effective
+            if not failed and not timed_out:
+                success = True
+                break
+            if timed_out or attempt >= cfg.max_attempts:
+                break
+            backoff = res.backoff_ms(seq, attempt)
+            if budget > 0.0 and total + backoff >= budget:
+                break
+            total += backoff
+            t = now_ms + total
+            if recorder is not None:
+                recorder.on_retry()
+
+        if success:
+            breaker.on_success()
+            # Fault-inflated latency (spikes, brownouts, retries,
+            # backoff) is a *real* obstruction signal: the tenant's
+            # misses are expensive right now, so the agent's NR rewards
+            # should amplify exactly as they do for queue-depth-driven
+            # slowness.
+            self.monitor.observe(req.tenant, total)
+            self.store.admit(req)
+            res.forget_stale(req.key)
+            if recorder is not None:
+                recorder.on_request(
+                    req.tenant, req.size, False, total, peak_outstanding
+                )
+                if degraded_window or probing or attempt > 1:
+                    recorder.note_degraded(total)
+            return False
+
+        # 4. Every attempt failed: trip the breaker, fall back to stale.
+        if breaker.on_failure(now_ms) and recorder is not None:
+            recorder.on_breaker_open()
+        self.monitor.observe_failure(req.tenant, total)
+        if res.stale_hit(req.key):
+            latency = total + self.latency.hit_latency(req.size) + cfg.stale_latency_ms
+            if recorder is not None:
+                recorder.on_stale(req.tenant, req.size, latency)
+        else:
+            if recorder is not None:
+                recorder.on_error(req.tenant, req.size, total)
+        return False
 
 
 async def _client(
@@ -205,15 +362,22 @@ def run_service(
     latency: Optional[LatencyConfig] = None,
     checkpoint_every: int = 0,
     workload_name: str = "",
+    faults: Optional[FaultConfig] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> ServeMetrics:
     """Run a request stream through the concurrent service, end to end.
 
     ``num_clients`` controls only the *concurrency shape* of the
     driver; metrics are bit-identical for any client count (this is the
-    serve layer's ``--jobs 1`` vs ``--jobs N`` determinism guarantee).
-    The first ``warmup_requests`` requests flow through the cache but
-    are excluded from the reported metrics, mirroring the simulator's
-    warmup convention.
+    serve layer's ``--jobs 1`` vs ``--jobs N`` determinism guarantee,
+    and it holds with fault injection enabled too).  The first
+    ``warmup_requests`` requests flow through the cache but are
+    excluded from the reported metrics, mirroring the simulator's
+    warmup convention.  ``faults`` injects deterministic backend
+    misbehavior; ``resilience`` configures graceful degradation (when
+    only ``faults`` is given, the default :class:`ResilienceConfig`
+    applies).  With both left ``None`` the original request path runs
+    unchanged.
     """
     recorder = MetricsRecorder(
         policy=policy.name,
@@ -226,6 +390,8 @@ def run_service(
         latency=latency,
         recorder=recorder,
         warmup_requests=warmup_requests,
+        faults=faults,
+        resilience=resilience,
     )
     if num_clients <= 1:
         replay_requests(service, requests)

@@ -25,7 +25,7 @@ no matter how many concurrent clients drive it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..sim.address import is_power_of_two, mix_hash
 from .metrics import MetricsRecorder
@@ -66,6 +66,8 @@ class ObjectStore:
         self.segment_capacity = capacity_bytes // num_segments
         self.policy = policy
         self.recorder = recorder
+        #: optional eviction tap (stale retention for resilience)
+        self.evict_listener: Optional[Callable[[CachedObject], None]] = None
         self._segments: List[Dict[int, CachedObject]] = [
             {} for _ in range(num_segments)
         ]
@@ -152,6 +154,8 @@ class ObjectStore:
         self._segment_bytes[seg_idx] -= obj.size
         self.evictions += 1
         self.policy.on_evict(obj, seg_idx)
+        if self.evict_listener is not None:
+            self.evict_listener(obj)
         if self.recorder is not None:
             self.recorder.on_evict(obj.size)
 

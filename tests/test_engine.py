@@ -197,6 +197,33 @@ def test_cache_prune_removes_oldest_entries(tmp_path):
     assert cache.get(jobs[2]) is not None and cache.get(jobs[3]) is not None
 
 
+def test_cache_prune_deterministic_on_mtime_ties(tmp_path):
+    """Coarse-timestamp filesystems give same-tick entries identical
+    mtimes; prune must still evict a deterministic set (filename
+    tiebreak), not whatever order glob() happens to return."""
+    import os
+
+    cache = ResultCache(tmp_path)
+    jobs = [_job(scale=MICRO.with_overrides(accesses_per_core=200 + i)) for i in range(5)]
+    result = execute_job(jobs[0])
+    for job in jobs:
+        cache.put(job, result)
+        os.utime(cache.path(job), (1_000_000_000, 1_000_000_000))  # all tied
+
+    survivors_by_name = sorted(p.name for p in tmp_path.glob("*.pkl"))[2:]
+    assert cache.prune(3) == 2
+    assert sorted(p.name for p in tmp_path.glob("*.pkl")) == survivors_by_name
+
+    # a second cache directory with the same tied entries prunes the
+    # same way — the choice is a function of the entries, not the scan
+    other = ResultCache(tmp_path / "replica")
+    for job in jobs:
+        other.put(job, result)
+        os.utime(other.path(job), (1_000_000_000, 1_000_000_000))
+    assert other.prune(3) == 2
+    assert sorted(p.name for p in (tmp_path / "replica").glob("*.pkl")) == survivors_by_name
+
+
 def test_cache_prune_noop_when_under_limit(tmp_path):
     cache = ResultCache(tmp_path)
     job = _job()

@@ -33,6 +33,9 @@ from repro.traces.mixes import heterogeneous_mix, homogeneous_mix
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "determinism.json"
 SERVE_GOLDEN_PATH = Path(__file__).parent / "golden" / "serve_determinism.json"
+SERVE_FAULTS_GOLDEN_PATH = (
+    Path(__file__).parent / "golden" / "serve_faults_determinism.json"
+)
 
 # Small machine (1/64 of Table V) so the whole suite runs in seconds;
 # the capacity ratios the policies react to are preserved.
@@ -177,6 +180,97 @@ def compute_serve_golden() -> dict:
     }
 
 
+def _serve_fault_stats(metrics) -> dict:
+    """The serve stats plus every degradation counter the chaos path adds."""
+    out = _serve_stats(metrics)
+    out.update(
+        {
+            "origin_served": metrics.origin_served,
+            "shed": metrics.shed,
+            "stale_served": metrics.stale_served,
+            "errors": metrics.errors,
+            "retries": metrics.retries,
+            "timeouts": metrics.timeouts,
+            "breaker_opens": metrics.breaker_opens,
+            "breaker_denied": metrics.breaker_denied,
+            "degraded_requests": metrics.degraded_requests,
+            "degraded_p99_latency_ms": repr(metrics.degraded_p99_latency_ms),
+        }
+    )
+    return out
+
+
+#: pinned chaos fault model (literal, independent of experiment tuning:
+#: the golden pins *code* behavior, not serve_faults parameter choices)
+_GOLDEN_FAULTS = (
+    ("seed", 1),
+    ("error_rate", 0.01),
+    ("spike_rate", 0.02),
+    ("spike_multiplier", 8.0),
+    ("burst_every_ms", 175.0),
+    ("burst_duration_ms", 25.0),
+    ("outage_every_ms", 230.0),
+    ("outage_duration_ms", 60.0),
+    ("recovery_ramp_ms", 30.0),
+    ("recovery_multiplier", 4.0),
+)
+
+_GOLDEN_BROWNOUT_FAULTS = _GOLDEN_FAULTS + (
+    ("brownout_tenant", 1),
+    ("brownout_every_ms", 200.0),
+    ("brownout_duration_ms", 50.0),
+)
+
+_GOLDEN_RESILIENCE = (
+    ("timeout_ms", 30.0),
+    ("shed_outstanding", 128),
+    ("breaker_open_ms", 6.0),
+)
+
+
+def _serve_faults_case(
+    workload: str,
+    policy: str,
+    fault_params: tuple,
+    resilience_params: tuple,
+) -> dict:
+    job = ServeJob(
+        workload=workload,
+        policy=policy,
+        num_requests=1200,
+        warmup_requests=200,
+        capacity_bytes=2 << 20,
+        num_segments=64,
+        num_clients=5,
+        seed=17,
+        checkpoint_every=400,
+        fault_params=fault_params,
+        resilience_params=resilience_params,
+    )
+    return _serve_fault_stats(job.execute())
+
+
+def compute_serve_faults_golden() -> dict:
+    """Fixed-seed chaos runs pinning fault injection + degradation.
+
+    Covers the naive control (retries/breaker/stale all off), the full
+    resilient pipeline, and a per-tenant brownout with stale serving —
+    again through the concurrent driver (num_clients=5), so the golden
+    pins that chaos decisions survive the sequenced-asyncio path.
+    """
+    return {
+        "lru_naive_outages": _serve_faults_case(
+            "zipf_scan", "lru", _GOLDEN_FAULTS, (("preset", "none"),)
+        ),
+        "chrome_resilient_outages": _serve_faults_case(
+            "zipf_scan", "chrome", _GOLDEN_FAULTS, _GOLDEN_RESILIENCE
+        ),
+        "lru_resilient_brownout": _serve_faults_case(
+            "multitenant", "lru", _GOLDEN_BROWNOUT_FAULTS, _GOLDEN_RESILIENCE
+        ),
+    }
+
+
 @pytest.fixture(scope="module")
 def computed() -> dict:
     return compute_golden()
@@ -251,6 +345,48 @@ def test_serve_repeated_run_is_deterministic(serve_computed: dict) -> None:
     assert again == serve_computed
 
 
+@pytest.fixture(scope="module")
+def serve_faults_computed() -> dict:
+    return compute_serve_faults_golden()
+
+
+@pytest.fixture(scope="module")
+def serve_faults_golden() -> dict:
+    assert SERVE_FAULTS_GOLDEN_PATH.exists(), (
+        f"missing golden file {SERVE_FAULTS_GOLDEN_PATH}; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_determinism.py --regenerate`"
+    )
+    return json.loads(SERVE_FAULTS_GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize(
+    "case",
+    [
+        "lru_naive_outages",
+        "chrome_resilient_outages",
+        "lru_resilient_brownout",
+    ],
+)
+def test_serve_faults_stats_bit_identical(
+    case: str, serve_faults_computed: dict, serve_faults_golden: dict
+) -> None:
+    assert serve_faults_computed[case] == serve_faults_golden[case], (
+        f"{case}: chaos-path serve behavior diverged from the committed "
+        "golden (fault windows, retry totals and breaker trips are all "
+        "deterministic by construction).  If the change is intentionally "
+        "behavior-altering, regenerate with `PYTHONPATH=src python "
+        "tests/test_golden_determinism.py --regenerate` and justify the "
+        "diff."
+    )
+
+
+def test_serve_faults_repeated_run_is_deterministic(
+    serve_faults_computed: dict,
+) -> None:
+    again = compute_serve_faults_golden()
+    assert again == serve_faults_computed
+
+
 def main() -> None:  # pragma: no cover - maintenance helper
     import argparse
 
@@ -272,6 +408,10 @@ def main() -> None:  # pragma: no cover - maintenance helper
         json.dumps(compute_serve_golden(), indent=1, sort_keys=True) + "\n"
     )
     print(f"wrote {SERVE_GOLDEN_PATH}")
+    SERVE_FAULTS_GOLDEN_PATH.write_text(
+        json.dumps(compute_serve_faults_golden(), indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {SERVE_FAULTS_GOLDEN_PATH}")
 
 
 if __name__ == "__main__":  # pragma: no cover

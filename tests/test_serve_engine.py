@@ -14,6 +14,7 @@ from repro.experiments import (
     job_fingerprint,
 )
 from repro.serve.experiments import (
+    FAULT_POLICIES,
     SERVE_PLANS,
     SERVE_POLICIES_COMPARED,
     serve_capacity,
@@ -57,10 +58,21 @@ def test_serve_experiments_registered_eagerly():
 
 
 def test_serve_plans_compare_every_policy():
-    for plan_builder in SERVE_PLANS.values():
+    for experiment_id, plan_builder in SERVE_PLANS.items():
         plan = plan_builder(TINY)
-        assert len(plan.jobs) == len(SERVE_POLICIES_COMPARED)
-        assert {job.policy for job in plan.jobs} == set(SERVE_POLICIES_COMPARED)
+        if experiment_id == "serve_faults":
+            # chaos plan: (baseline, learned) x (naive, resilient)
+            assert len(plan.jobs) == 2 * len(FAULT_POLICIES)
+            assert {job.policy for job in plan.jobs} == set(FAULT_POLICIES)
+            assert all(job.fault_params for job in plan.jobs)
+            modes = {job.resilience_params for job in plan.jobs}
+            assert len(modes) == 2  # naive control vs resilient config
+        else:
+            assert len(plan.jobs) == len(SERVE_POLICIES_COMPARED)
+            assert {job.policy for job in plan.jobs} == set(
+                SERVE_POLICIES_COMPARED
+            )
+            assert not any(job.fault_params for job in plan.jobs)
 
 
 def test_serve_capacity_scales_with_machine_scale():
