@@ -57,6 +57,7 @@ def run_one(
     requests: int,
     warmup: int,
     capacity: int,
+    obs=None,
 ) -> dict:
     job = ServeJob(
         workload="zipf_scan",
@@ -71,7 +72,7 @@ def run_one(
         resilience_params=resilience_params,
     )
     start = time.perf_counter()
-    metrics = job.execute()
+    metrics = job.execute(obs=obs)
     elapsed = time.perf_counter() - start
     return {
         "object_hit_ratio": round(metrics.object_hit_ratio, 4),
@@ -107,7 +108,17 @@ def main() -> int:
         "--json", type=Path, default=RESULTS_PATH,
         help=f"output path (default {RESULTS_PATH})",
     )
+    parser.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="record repro.obs telemetry artifacts into DIR (off by default)",
+    )
     args = parser.parse_args()
+
+    obs = None
+    if args.obs_dir is not None:
+        from repro.obs import ObsConfig
+
+        obs = ObsConfig(out_dir=args.obs_dir)
 
     run_scale = replace(
         scale, accesses_per_core=args.requests, warmup_per_core=args.warmup
@@ -148,7 +159,7 @@ def main() -> int:
         for mode, params in (("naive", NAIVE_PARAMS), ("resilient", res_params)):
             record = run_one(
                 policy, params, fault_params, args.requests, args.warmup,
-                capacity,
+                capacity, obs=obs,
             )
             table[mode] = record
             print(

@@ -65,6 +65,25 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress per-job progress/timing lines on stderr",
     )
+    run.add_argument(
+        "--obs",
+        action="store_true",
+        help="record repro.obs telemetry (timelines, Chrome traces, counters)",
+    )
+    run.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact directory for --obs (default obs-artifacts; implies --obs)",
+    )
+
+    report = sub.add_parser(
+        "obs-report", help="summarize the artifacts of an obs-enabled run"
+    )
+    report.add_argument(
+        "obs_dir", nargs="?", default="obs-artifacts",
+        help="obs artifact directory (default obs-artifacts)",
+    )
     return parser
 
 
@@ -80,6 +99,11 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
 
 def _run_cli(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "obs-report":
+        from .obs.report import render as render_obs, summarize
+
+        print(render_obs(summarize(args.obs_dir)))
+        return 0
     experiments = available_experiments()
     if args.command == "list":
         for experiment_id in experiments:
@@ -103,8 +127,18 @@ def _run_cli(argv: Optional[List[str]] = None) -> int:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
     progress = None if args.quiet else ProgressReporter(sys.stderr)
+    obs_config = None
+    if args.obs or args.obs_dir is not None:
+        from .obs import ObsConfig
+
+        obs_config = ObsConfig(out_dir=args.obs_dir or "obs-artifacts")
     try:
-        engine = Engine(workers=workers, cache_dir=args.cache_dir, progress=progress)
+        engine = Engine(
+            workers=workers,
+            cache_dir=args.cache_dir,
+            progress=progress,
+            obs=obs_config,
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -121,6 +155,13 @@ def _run_cli(argv: Optional[List[str]] = None) -> int:
         print(
             f"[engine: {stats.total} jobs — {stats.executed} simulated, "
             f"{stats.disk_hits} disk-cache hits, {stats.memo_hits} memo hits]",
+            file=sys.stderr,
+        )
+    if obs_config is not None:
+        engine.export_obs()
+        print(
+            f"[obs artifacts in {obs_config.out_dir}; summarize with "
+            f"`chrome-repro obs-report {obs_config.out_dir}`]",
             file=sys.stderr,
         )
     return 0

@@ -76,6 +76,14 @@ class ChromePolicy(ReplacementPolicy):
         self.decisions = 0
         self.explorations = 0
         self.bypass_decisions = 0
+        # reward-family mix (Sec. IV-C): how training signal splits
+        # between re-request rewards (R_AC/R_IN) and the OB/NOB
+        # no-re-request rewards assigned at EQ eviction.
+        self.rewards_accurate = 0
+        self.rewards_inaccurate = 0
+        self.rewards_nr_accurate = 0
+        self.rewards_nr_inaccurate = 0
+        self.rewards_nr_obstructed = 0
 
     # --- wiring -----------------------------------------------------------------
 
@@ -106,8 +114,10 @@ class ChromePolicy(ReplacementPolicy):
                 rewards = self._rewards
                 if hit:
                     entry.reward = rewards.accurate(info.is_prefetch)
+                    self.rewards_accurate += 1
                 else:
                     entry.reward = rewards.inaccurate(info.is_prefetch)
+                    self.rewards_inaccurate += 1
 
         # Line 9: extract the state vector.
         state = self.features.extract(
@@ -147,12 +157,16 @@ class ChromePolicy(ReplacementPolicy):
         obstructed = (
             self._camat.is_obstructed(entry.core) if self._camat is not None else False
         )
+        if obstructed:
+            self.rewards_nr_obstructed += 1
         if entry.trigger_hit:
             deprioritized = entry.action == ACTION_EPV_HIGH
         else:
             deprioritized = entry.action == ACTION_BYPASS
         if deprioritized:
+            self.rewards_nr_accurate += 1
             return rewards.accurate_no_rerequest(obstructed)
+        self.rewards_nr_inaccurate += 1
         return rewards.inaccurate_no_rerequest(obstructed)
 
     def _sarsa_update(self, evicted: EQEntry, head: EQEntry) -> None:
@@ -237,6 +251,17 @@ class ChromePolicy(ReplacementPolicy):
 
     # --- reporting ---------------------------------------------------------------
 
+    def reward_mix(self) -> dict:
+        """Cumulative reward-family counts (the obs timeline samples
+        this each epoch; deltas between epochs give the per-epoch mix)."""
+        return {
+            "accurate": self.rewards_accurate,
+            "inaccurate": self.rewards_inaccurate,
+            "nr_accurate": self.rewards_nr_accurate,
+            "nr_inaccurate": self.rewards_nr_inaccurate,
+            "nr_obstructed": self.rewards_nr_obstructed,
+        }
+
     def telemetry(self) -> dict:
         """Run counters used by the experiments (UPKSA for Table VII,
         exploration/bypass rates, Q-value health)."""
@@ -245,6 +270,7 @@ class ChromePolicy(ReplacementPolicy):
             if self.sampled_accesses
             else 0.0
         )
+        mix = self.reward_mix()
         return {
             "decisions": self.decisions,
             "explorations": self.explorations,
@@ -253,6 +279,7 @@ class ChromePolicy(ReplacementPolicy):
             "q_updates": self.qtable.updates,
             "upksa": upksa,
             "eq_reward_matches": self.eq.reward_matches,
+            **{f"reward_{k}": v for k, v in mix.items()},
             **self.qtable.snapshot_stats(),
         }
 

@@ -55,6 +55,7 @@ class QTable:
         "_row_mask",
         "_quantum",
         "_clamp",
+        "_init_q",
         "_tables",
         "_index_cache",
         "_row_caches",
@@ -77,6 +78,7 @@ class QTable:
         self._clamp = (-limit, limit - self._quantum)
         init = config.optimistic_q / self.num_subtables
         init = round(init / self._quantum) * self._quantum
+        self._init_q = init
         # tables[feature][subtable][row] -> [q per action]
         self._tables: List[List[List[List[float]]]] = [
             [
@@ -409,6 +411,37 @@ class QTable:
             * NUM_ACTIONS
             * self.config.q_value_bits
         )
+
+    def health_stats(self) -> dict:
+        """Coverage/saturation walk for observability.
+
+        *Coverage* is the fraction of stored Q-entries that have moved
+        off their optimistic-initialization value — how much of the
+        table the workload has actually trained.  *Saturation* is the
+        fraction pinned at the fixed-point clamp bounds — entries whose
+        updates are being clipped (a hyperparameter health signal).
+        Walks every entry, so callers sample this at run boundaries,
+        not per epoch.
+        """
+        init = self._init_q
+        lo, hi = self._clamp
+        total = touched = saturated = 0
+        for feature in self._tables:
+            for subtable in feature:
+                for row in subtable:
+                    for v in row:
+                        if v != init:
+                            touched += 1
+                        if v <= lo or v >= hi:
+                            saturated += 1
+                    total += len(row)
+        return {
+            "q_entries": total,
+            "q_coverage": touched / total if total else 0.0,
+            "q_saturation": saturated / total if total else 0.0,
+            "lookups": self.lookups,
+            "updates": self.updates,
+        }
 
     def snapshot_stats(self) -> dict:
         """Streaming min/max/mean over every stored Q-value.

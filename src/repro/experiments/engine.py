@@ -16,12 +16,14 @@ keyed by job (never by completion order).
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..obs import ObsConfig
 from ..sim.multicore import SystemResult
 from .jobspec import SimJob, execute_job
 from .progress import NullProgress, ProgressReporter
@@ -57,9 +59,11 @@ class EngineStats:
         return self.executed + self.disk_hits + self.memo_hits
 
 
-def _pool_run(job: SimJob) -> Tuple[SimJob, SystemResult, float]:
+def _pool_run(
+    job: SimJob, obs: Optional[ObsConfig] = None
+) -> Tuple[SimJob, SystemResult, float]:
     start = time.perf_counter()
-    result = execute_job(job)
+    result = execute_job(job, obs=obs)
     return job, result, time.perf_counter() - start
 
 
@@ -80,12 +84,27 @@ class Engine:
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
         progress: Optional[ProgressReporter] = None,
+        obs: Optional[ObsConfig] = None,
     ) -> None:
         self.workers = max(1, workers if workers is not None else os.cpu_count() or 1)
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.progress = progress or NullProgress()
         self.stats = EngineStats()
         self._memo: Dict[SimJob, SystemResult] = {}
+        # Observability: the ObsConfig (picklable) is forwarded to
+        # worker processes, which export per-job artifacts themselves;
+        # the engine's own session records scheduling — wall-clock job
+        # spans, memo/disk-cache hits, batch summaries.  Disk-cache
+        # hits skip execution entirely, so they leave no per-job
+        # artifacts (only the engine's "disk" marker).
+        self.obs_config = obs
+        self._obs = obs.session("engine") if obs is not None else None
+        self._obs_t0 = time.perf_counter()
+        self._obs_done = 0
+        if self._obs is not None:
+            self._obs.tracer.name_thread(0, "engine")
+            for lane in range(1, self.workers + 1):
+                self._obs.tracer.name_thread(lane, f"worker{lane - 1}")
 
     # --- job execution ----------------------------------------------------------
 
@@ -106,6 +125,8 @@ class Engine:
                 results[job] = memoized
                 memo_hits += 1
                 self.progress.job_done(job, "memo", 0.0)
+                if self._obs is not None:
+                    self._obs_job(job, "memo", 0.0)
                 continue
             if self.cache is not None:
                 cached = self.cache.get(job)
@@ -114,6 +135,8 @@ class Engine:
                     results[job] = cached
                     disk_hits += 1
                     self.progress.job_done(job, "disk", 0.0)
+                    if self._obs is not None:
+                        self._obs_job(job, "disk", 0.0)
                     continue
             pending.append(job)
 
@@ -125,24 +148,65 @@ class Engine:
                 if self.cache is not None:
                     self.cache.put(job, result)
                 self.progress.job_done(job, "run", seconds)
+                if self._obs is not None:
+                    self._obs_job(job, "run", seconds)
 
+        elapsed = time.perf_counter() - start
         self.stats.executed += executed
         self.stats.disk_hits += disk_hits
         self.stats.memo_hits += memo_hits
         self.progress.batch_summary(
-            experiment_id, executed, disk_hits, memo_hits,
-            time.perf_counter() - start,
+            experiment_id, executed, disk_hits, memo_hits, elapsed
         )
+        if self._obs is not None:
+            self._obs.timeline.record(
+                "engine_batch",
+                experiment=experiment_id,
+                jobs=len(unique),
+                executed=executed,
+                disk_hits=disk_hits,
+                memo_hits=memo_hits,
+                seconds=elapsed,
+            )
         return results
 
     def _execute(self, pending: Sequence[SimJob]):
         if self.workers <= 1 or len(pending) <= 1:
             for job in pending:
-                yield _pool_run(job)
+                yield _pool_run(job, self.obs_config)
             return
         ctx = _fork_context()
+        run = functools.partial(_pool_run, obs=self.obs_config)
         with ctx.Pool(processes=min(self.workers, len(pending))) as pool:
-            yield from pool.imap_unordered(_pool_run, pending)
+            yield from pool.imap_unordered(run, pending)
+
+    # --- observability (engine-side scheduling record) ----------------------------
+
+    def _obs_job(self, job, source: str, seconds: float) -> None:
+        """One completed job on the engine's wall-clock trace."""
+        obs = self._obs
+        now_us = (time.perf_counter() - self._obs_t0) * 1e6
+        obs.timeline.record(
+            "engine_job", label=job.label, source=source, seconds=seconds
+        )
+        if source == "run":
+            # Completion-order lanes: the fork pool doesn't report which
+            # worker ran a job, so lanes show concurrency shape, not
+            # worker identity.
+            lane = self._obs_done % self.workers + 1
+            self._obs_done += 1
+            obs.tracer.complete(
+                job.label, now_us - seconds * 1e6, seconds * 1e6, tid=lane
+            )
+        else:
+            obs.tracer.instant(f"{source}_hit", now_us, args={"label": job.label})
+        obs.registry.counter(f"engine.jobs_{source}").inc()
+
+    def export_obs(self) -> Optional[dict]:
+        """Write the engine session's artifacts (None with obs off)."""
+        if self._obs is None:
+            return None
+        return self._obs.export()
 
     # --- plans ------------------------------------------------------------------
 

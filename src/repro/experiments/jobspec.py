@@ -209,13 +209,20 @@ def job_fingerprint(job, code_version: str = CODE_VERSION) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def execute_job(job):
+def execute_job(job, obs=None):
     """Run one job from its spec alone (pure given the spec).
 
     Every job builds its own traces/requests and a fresh policy, each
     seeded by the spec, so results do not depend on which process
     executes the job or in which order — the engine's determinism
     guarantee.
+
+    ``obs`` is an optional :class:`repro.obs.ObsConfig`; when given,
+    the executing process builds its own session, runs instrumented,
+    and exports artifacts labeled by the job's fingerprint — which is
+    what lets ``--jobs N`` worker processes each leave an aggregatable
+    record without sharing any live state.  Results are identical with
+    and without it.
 
     :class:`SimJob` is executed here directly; any other job kind
     (e.g. :class:`repro.serve.jobs.ServeJob`) supplies its own
@@ -225,7 +232,7 @@ def execute_job(job):
     if not isinstance(job, SimJob):
         execute = getattr(job, "execute", None)
         if callable(execute):
-            return execute()
+            return execute(obs=obs) if obs is not None else execute()
         raise TypeError(
             f"cannot execute job of type {type(job).__name__}: expected a "
             "SimJob or a spec with an execute() method"
@@ -233,13 +240,21 @@ def execute_job(job):
     total = job.accesses_per_core + job.warmup_per_core
     traces = job.mix.build(total, job.machine_scale)
     config = SystemConfig(num_cores=job.mix.num_cores, scale=job.machine_scale)
+    session = None
+    if obs is not None:
+        label = f"sim-{job.mix.label}-{job.policy.label}-{job_fingerprint(job)[:10]}"
+        session = obs.session(label)
     system = MultiCoreSystem(
         config,
         llc_policy=job.policy.build(job.machine_scale),
         prefetch_config=job.prefetch,
+        obs=session,
     )
-    return system.run(
+    result = system.run(
         traces,
         max_accesses_per_core=total,
         warmup_accesses=job.warmup_per_core,
     )
+    if session is not None:
+        session.export()
+    return result

@@ -1,0 +1,50 @@
+"""``repro.obs`` — unified, opt-in telemetry for every layer.
+
+The paper's system is debugged through its measured feedback (C-AMAT
+epochs, obstruction flags, reward mixes, Q-table health — Secs. II-C,
+IV-C), and the serving/engine layers have the same need one level up
+(breaker state, degraded fractions, per-job scheduling).  This package
+gives all of them one substrate:
+
+* :class:`~repro.obs.registry.Registry` — named counters, gauges and
+  fixed-bucket histograms with a testable no-op mode;
+* :class:`~repro.obs.timeline.TimelineRecorder` — epoch-aligned rows
+  (one dict per epoch/window) exported as a JSONL stream the engine
+  can aggregate across parallel jobs;
+* :class:`~repro.obs.tracer.SpanTracer` — span/instant/counter events
+  exported as Chrome-trace-format JSON, loadable in ``chrome://tracing``
+  or Perfetto;
+* :class:`~repro.obs.session.ObsSession` — one registry + timeline +
+  tracer bundle with an ``export()`` that writes all three artifacts;
+  :class:`~repro.obs.session.ObsConfig` is the picklable spec that
+  crosses worker-process boundaries;
+* :mod:`~repro.obs.report` — the ``obs-report`` summarizer that turns
+  an artifact directory back into answers.
+
+**Zero-overhead-when-off contract:** observability is strictly opt-in.
+Instrumented call sites hold an ``Optional[ObsSession]`` that is
+``None`` by default and guard every hook with a single ``is not None``
+check (or, for the simulator, register nothing on the C-AMAT epoch
+observer list).  With obs disabled the committed determinism goldens
+reproduce byte-for-byte and the perf smoke stays inside its tolerance;
+``tests/test_obs.py`` pins both halves of the contract.
+"""
+
+from .registry import Counter, Gauge, Histogram, NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM, Registry
+from .session import ObsConfig, ObsSession
+from .timeline import TimelineRecorder
+from .tracer import SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "Registry",
+    "ObsConfig",
+    "ObsSession",
+    "TimelineRecorder",
+    "SpanTracer",
+]

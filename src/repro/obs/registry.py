@@ -1,0 +1,184 @@
+"""Named-instrument registry: counters, gauges, histograms.
+
+Instruments are deliberately minimal — plain Python attribute updates,
+no locks (every instrumented site runs on one thread or inside the
+serve layer's sequenced section), no timestamps (time belongs to the
+timeline and tracer).  The registry exists so artifacts list every
+instrument a run touched under stable, sorted names.
+
+The **no-op path**: a registry built with ``enabled=False`` hands out
+shared null instruments whose mutators do nothing and whose
+``snapshot()`` is empty.  Call sites can therefore keep an
+unconditional ``registry.counter("x").inc()`` in cold code; hot paths
+instead guard on the owning session being ``None`` (see
+:mod:`repro.obs`'s zero-overhead contract).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing integer-or-float total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins value (occupancy, rate, fraction)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+#: default histogram bucket upper bounds (latencies in ms / cycles
+#: scaled down; callers with other shapes pass their own bounds)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0
+)
+
+
+class Histogram:
+    """Fixed-bound bucket histogram with count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        idx = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            idx += 1
+        self.bucket_counts[idx] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter (disabled-registry fast path)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class Registry:
+    """Create-or-get instrument store with a sorted snapshot.
+
+    With ``enabled=False`` every accessor returns the shared null
+    instrument of the right type and ``snapshot()`` is ``{}`` — the
+    registry allocates nothing and remembers nothing.
+    """
+
+    __slots__ = ("enabled", "_instruments")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = cls(name, *args)
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"instrument {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self._get(name, Histogram, bounds)
+
+    def set_gauges(self, prefix: str, values: dict) -> None:
+        """Bulk-set ``{prefix}.{key}`` gauges from a flat numeric dict."""
+        if not self.enabled:
+            return
+        for key, value in values.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.gauge(f"{prefix}.{key}").set(value)
+
+    def snapshot(self) -> dict:
+        """``name -> instrument snapshot``, names sorted for stability."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }

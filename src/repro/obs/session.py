@@ -1,0 +1,94 @@
+"""Obs session: one registry + timeline + tracer, and the artifacts.
+
+:class:`ObsConfig` is the frozen, picklable spec that crosses process
+boundaries (the engine forwards it to worker processes, each of which
+builds its own :class:`ObsSession` and exports under its job's label).
+:class:`ObsSession` is the live bundle instrumented code holds.
+
+Artifact layout, per exported label, inside ``out_dir``::
+
+    <label>.timeline.jsonl   epoch/window rows (JSONL stream)
+    <label>.trace.json       Chrome trace format (chrome://tracing)
+    <label>.counters.json    registry snapshot (counters/gauges/histograms)
+
+Labels are sanitized to filesystem-safe slugs; streams from many jobs
+aggregate by concatenating the ``*.timeline.jsonl`` files (see
+:func:`repro.obs.timeline.merge_jsonl` and :mod:`repro.obs.report`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .registry import Registry
+from .timeline import TimelineRecorder
+from .tracer import SpanTracer
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def slugify(label: str) -> str:
+    """A filesystem-safe artifact name component."""
+    slug = _SLUG_RE.sub("_", label.strip()) or "run"
+    return slug[:120]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Picklable observability spec (what, not the live state)."""
+
+    out_dir: str
+    #: serve-layer sampling window (timeline row every N requests)
+    serve_window: int = 256
+
+    def session(self, source: str) -> "ObsSession":
+        return ObsSession(self, source=source)
+
+
+class ObsSession:
+    """The live instrument bundle one run writes into."""
+
+    def __init__(self, config: ObsConfig, source: str = "run") -> None:
+        self.config = config
+        self.source = source
+        self.registry = Registry(enabled=True)
+        self.timeline = TimelineRecorder(source=source)
+        self.tracer = SpanTracer(process=source)
+
+    # --- export -----------------------------------------------------------------
+
+    def export(self, label: Optional[str] = None) -> Dict[str, Path]:
+        """Write the three artifacts; returns ``{artifact: path}``.
+
+        Empty artifacts (no rows / no events / no instruments) are
+        still written so a run with obs enabled always leaves a
+        parseable record behind.
+        """
+        out_dir = Path(self.config.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        slug = slugify(label or self.source)
+        paths = {
+            "timeline": out_dir / f"{slug}.timeline.jsonl",
+            "trace": out_dir / f"{slug}.trace.json",
+            "counters": out_dir / f"{slug}.counters.json",
+        }
+        paths["timeline"].write_text(self.timeline.to_jsonl())
+        paths["trace"].write_text(self.tracer.to_json())
+        paths["counters"].write_text(
+            json.dumps(self.registry.snapshot(), indent=1, sort_keys=True) + "\n"
+        )
+        return paths
+
+
+def discover_artifacts(out_dir: str) -> Dict[str, List[Path]]:
+    """Artifact files under ``out_dir``, grouped by type and sorted."""
+    root = Path(out_dir)
+    return {
+        "timeline": sorted(root.glob("*.timeline.jsonl")),
+        "trace": sorted(root.glob("*.trace.json")),
+        "counters": sorted(root.glob("*.counters.json")),
+    }

@@ -1,0 +1,63 @@
+"""Epoch-aligned timeline recorder with JSONL export.
+
+A timeline is an append-only list of flat dict rows, each tagged with
+a ``kind`` (``sim_epoch``, ``serve_window``, ``sim_summary``, ...) and
+the recorder's ``source`` label, so streams from many parallel jobs
+concatenate into one aggregatable JSONL file.  Rows carry *virtual*
+time (cycles or virtual milliseconds), never wall-clock, so a
+timeline is as deterministic as the run that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List
+
+
+class TimelineRecorder:
+    """Append-only row store; one per instrumented run."""
+
+    __slots__ = ("source", "rows")
+
+    def __init__(self, source: str = "run") -> None:
+        self.source = source
+        self.rows: List[Dict[str, object]] = []
+
+    def record(self, kind: str, **fields: object) -> None:
+        """Append one row. ``kind`` and ``source`` lead every row."""
+        row: Dict[str, object] = {"kind": kind, "source": self.source}
+        row.update(fields)
+        self.rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def of_kind(self, kind: str) -> List[Dict[str, object]]:
+        return [row for row in self.rows if row["kind"] == kind]
+
+    def to_jsonl(self) -> str:
+        """One compact JSON object per line (empty string if no rows)."""
+        if not self.rows:
+            return ""
+        return "\n".join(
+            json.dumps(row, sort_keys=True, default=_json_default)
+            for row in self.rows
+        ) + "\n"
+
+
+def _json_default(value: object) -> object:
+    """Last-resort encoder: telemetry dicts may hold odd value types."""
+    return repr(value)
+
+
+def iter_jsonl(text: str) -> Iterator[Dict[str, object]]:
+    """Parse a JSONL stream back into rows (blank lines skipped)."""
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            yield json.loads(line)
+
+
+def merge_jsonl(streams: Iterable[str]) -> str:
+    """Concatenate JSONL streams (the cross-job aggregation primitive)."""
+    return "".join(stream for stream in streams if stream)

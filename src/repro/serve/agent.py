@@ -184,6 +184,12 @@ class ServeAgent:
         self.decisions = 0
         self.explorations = 0
         self.bypass_decisions = 0
+        # reward-family mix, same families as the LLC agent
+        self.rewards_accurate = 0
+        self.rewards_inaccurate = 0
+        self.rewards_nr_accurate = 0
+        self.rewards_nr_inaccurate = 0
+        self.rewards_nr_obstructed = 0
 
     # --- wiring -----------------------------------------------------------------
 
@@ -215,8 +221,10 @@ class ServeAgent:
                 rewards = self._rewards
                 if hit:
                     entry.reward = rewards.accurate(req.is_refresh)
+                    self.rewards_accurate += 1
                 else:
                     entry.reward = rewards.inaccurate(req.is_refresh)
+                    self.rewards_inaccurate += 1
 
         state = self.features.extract(
             req.key, req.size, req.tenant, hit, req.is_refresh
@@ -254,12 +262,16 @@ class ServeAgent:
             if self._monitor is not None
             else False
         )
+        if obstructed:
+            self.rewards_nr_obstructed += 1
         if entry.trigger_hit:
             deprioritized = entry.action == ACTION_EPV_HIGH
         else:
             deprioritized = entry.action == ACTION_BYPASS
         if deprioritized:
+            self.rewards_nr_accurate += 1
             return rewards.accurate_no_rerequest(obstructed)
+        self.rewards_nr_inaccurate += 1
         return rewards.inaccurate_no_rerequest(obstructed)
 
     def _sarsa_update(self, evicted: EQEntry, head: EQEntry) -> None:
@@ -282,6 +294,16 @@ class ServeAgent:
 
     # --- reporting ---------------------------------------------------------------
 
+    def reward_mix(self) -> dict:
+        """Cumulative reward-family counts (sampled by the obs layer)."""
+        return {
+            "accurate": self.rewards_accurate,
+            "inaccurate": self.rewards_inaccurate,
+            "nr_accurate": self.rewards_nr_accurate,
+            "nr_inaccurate": self.rewards_nr_inaccurate,
+            "nr_obstructed": self.rewards_nr_obstructed,
+        }
+
     def telemetry(self) -> dict:
         return {
             "decisions": self.decisions,
@@ -290,6 +312,7 @@ class ServeAgent:
             "sampled_requests": self.sampled_requests,
             "q_updates": self.qtable.updates,
             "eq_reward_matches": self.eq.reward_matches,
+            **{f"reward_{k}": v for k, v in self.reward_mix().items()},
             **self.qtable.snapshot_stats(),
         }
 
@@ -356,6 +379,9 @@ class ChromeServePolicy(ServePolicy):
                 best_key = key
                 best_touch = obj.last_touch
         return best_key
+
+    def reward_mix(self) -> dict:
+        return self.agent.reward_mix()
 
     def telemetry(self) -> dict:
         return self.agent.telemetry()

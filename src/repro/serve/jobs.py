@@ -121,13 +121,27 @@ class ServeJob:
             raise ValueError(f"unknown resilience preset {preset!r}")
         return ResilienceConfig(**params)
 
-    def execute(self) -> ServeMetrics:
-        """Run this job from its spec alone (pure given the spec)."""
+    def execute(self, obs=None) -> ServeMetrics:
+        """Run this job from its spec alone (pure given the spec).
+
+        ``obs`` is an optional :class:`repro.obs.ObsConfig`; when given,
+        the run records a telemetry session and exports its artifacts
+        under a label derived from this spec's fingerprint.  The
+        returned metrics are identical either way.
+        """
         total = self.num_requests + self.warmup_requests
         requests = build_workload(
             self.workload, total, seed=self.seed, **dict(self.workload_params)
         )
-        return run_service(
+        session = None
+        if obs is not None:
+            import hashlib
+
+            digest = hashlib.sha256(
+                repr(self.canonical()).encode()
+            ).hexdigest()[:10]
+            session = obs.session(f"serve-{self.workload}-{self.policy}-{digest}")
+        metrics = run_service(
             requests,
             self.build_policy(),
             self.capacity_bytes,
@@ -138,4 +152,8 @@ class ServeJob:
             workload_name=self.workload,
             faults=self.build_faults(),
             resilience=self.build_resilience(),
+            obs=session,
         )
+        if session is not None:
+            session.export()
+        return metrics

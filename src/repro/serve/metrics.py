@@ -31,15 +31,27 @@ and the ``--jobs 1`` vs ``--jobs N`` bit-identity checks exactly like
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 
 def percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile over an already-sorted sample."""
-    if not sorted_values:
+    """Nearest-rank percentile over an already-sorted sample.
+
+    Nearest-rank: the value at 1-indexed rank ``ceil(fraction * n)``,
+    i.e. the smallest sample >= ``fraction`` of the distribution.  The
+    rank is clamped to the sample, so ``fraction <= 0`` returns the
+    minimum and ``fraction >= 1`` the maximum.
+    """
+    n = len(sorted_values)
+    if not n:
         return 0.0
-    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    rank = math.ceil(fraction * n) - 1
+    if rank < 0:
+        rank = 0
+    elif rank >= n:
+        rank = n - 1
     return sorted_values[rank]
 
 
@@ -74,7 +86,9 @@ class ServeMetrics:
     backend_fetches: int = 0
     backend_bytes: int = 0
     admitted: int = 0
+    admitted_bytes: int = 0
     bypassed: int = 0
+    bypassed_bytes: int = 0
     evictions: int = 0
     evicted_bytes: int = 0
     peak_outstanding: int = 0
@@ -242,10 +256,12 @@ class MetricsRecorder:
     def on_admit(self, size: int) -> None:
         if self._measuring:
             self.metrics.admitted += 1
+            self.metrics.admitted_bytes += size
 
     def on_bypass(self, size: int) -> None:
         if self._measuring:
             self.metrics.bypassed += 1
+            self.metrics.bypassed_bytes += size
 
     def on_evict(self, size: int) -> None:
         if self._measuring:

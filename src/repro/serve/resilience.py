@@ -52,6 +52,13 @@ BREAKER_CLOSED = 0
 BREAKER_OPEN = 1
 BREAKER_HALF_OPEN = 2
 
+#: human-readable names for the obs timeline / reports
+BREAKER_STATE_NAMES = {
+    BREAKER_CLOSED: "closed",
+    BREAKER_OPEN: "open",
+    BREAKER_HALF_OPEN: "half-open",
+}
+
 
 @dataclass(frozen=True)
 class ResilienceConfig:
@@ -181,6 +188,13 @@ class ResilienceState:
 
     def breaker_opens(self) -> int:
         return sum(b.opens for b in self._breakers.values())
+
+    def breaker_states(self) -> Dict[int, str]:
+        """Current per-tenant breaker states, by tenant id (telemetry)."""
+        return {
+            tenant: BREAKER_STATE_NAMES[b.state]
+            for tenant, b in sorted(self._breakers.items())
+        }
 
     # --- load shedding ----------------------------------------------------------
 

@@ -140,6 +140,7 @@ class CacheService:
         warmup_requests: int = 0,
         faults: Optional[FaultConfig] = None,
         resilience: Optional[ResilienceConfig] = None,
+        obs=None,
     ) -> None:
         self.store = store
         self.latency = latency or LatencyConfig()
@@ -166,9 +167,21 @@ class CacheService:
         bind = getattr(store.policy, "bind_obstruction", None)
         if callable(bind):
             bind(self.monitor)
+        # Observability: one attribute test per request when disabled
+        # (the zero-overhead-when-off contract of repro.obs).
+        self._obs = obs
+        if obs is not None:
+            self._obs_window = max(1, obs.config.serve_window)
+            self._obs_next = self._obs_window - 1
+            obs.tracer.name_thread(0, "serve")
+        else:
+            self._obs_window = 0
+            self._obs_next = -1
 
     def process(self, seq: int, req: Request) -> bool:
         """Serve one request at its virtual arrival time; returns hit."""
+        if self._obs is not None and seq == self._obs_next:
+            self._obs_sample(seq)
         if self.resilience is not None:
             return self._process_resilient(seq, req)
         recorder = self.recorder
@@ -311,6 +324,101 @@ class CacheService:
                 recorder.on_error(req.tenant, req.size, total)
         return False
 
+    # --- observability (opt-in; reads shared state, never mutates it) -------------
+
+    def _obs_sample(self, seq: int) -> None:
+        """One timeline/trace sample per ``serve_window`` requests.
+
+        Called inside the sequenced section, so samples land at the
+        same request boundaries for any client count.  Everything read
+        here is cumulative service state — the request path itself is
+        untouched.
+        """
+        obs = self._obs
+        self._obs_next += self._obs_window
+        now_ms = seq * self.latency.inter_arrival_ms
+        m = self.recorder.metrics if self.recorder is not None else None
+        row = {
+            "seq": seq,
+            "now_ms": now_ms,
+            "outstanding": self.backend.outstanding(now_ms),
+            "backend_fetches": self.backend.fetches,
+            "obstruction_ewma": self.monitor.summary(),
+        }
+        if m is not None:
+            row.update(
+                requests=m.requests,
+                hits=m.hits,
+                object_hit_ratio=m.object_hit_ratio,
+                byte_hit_ratio=m.byte_hit_ratio,
+                errors=m.errors,
+                shed=m.shed,
+                stale_served=m.stale_served,
+                retries=m.retries,
+                breaker_opens=m.breaker_opens,
+                degraded_requests=m.degraded_requests
+                + len(self.recorder._degraded_latencies),
+            )
+        if self.resilience is not None:
+            row["breaker_states"] = self.resilience.breaker_states()
+            row["stale_retained"] = self.resilience.stale_retained
+        policy = self.store.policy
+        mix = getattr(policy, "reward_mix", None)
+        if callable(mix):
+            row["reward_mix"] = mix()
+        obs.timeline.record("serve_window", **row)
+        ts_us = now_ms * 1000.0
+        if m is not None:
+            obs.tracer.counter(
+                "serve.hit_ratio", ts_us, {"object": m.object_hit_ratio}
+            )
+        obs.tracer.counter(
+            "serve.outstanding", ts_us, {"fetches": row["outstanding"]}
+        )
+        if self.resilience is not None:
+            for tenant, state in row["breaker_states"].items():
+                if state != "closed":
+                    obs.tracer.instant(
+                        f"breaker.{state}", ts_us, args={"tenant": tenant}
+                    )
+
+    def obs_summary(self, metrics: ServeMetrics) -> None:
+        """Record the end-of-run summary row (called after finalize)."""
+        obs = self._obs
+        if obs is None:
+            return
+        row = {
+            "policy": metrics.policy,
+            "workload": metrics.workload,
+            "requests": metrics.requests,
+            "object_hit_ratio": metrics.object_hit_ratio,
+            "byte_hit_ratio": metrics.byte_hit_ratio,
+            "p99_latency_ms": metrics.p99_latency_ms,
+            "errors": metrics.errors,
+            "degraded_fraction": metrics.degraded_fraction,
+            "breaker_opens": metrics.breaker_opens,
+            "obstruction_ewma": self.monitor.summary(),
+        }
+        if self.resilience is not None:
+            row["breaker_states"] = self.resilience.breaker_states()
+            row["stale_retained"] = self.resilience.stale_retained
+        if metrics.telemetry:
+            row["policy_telemetry"] = dict(metrics.telemetry)
+        obs.timeline.record("serve_summary", **row)
+        reg = obs.registry
+        reg.counter("serve.requests").inc(metrics.requests)
+        reg.counter("serve.hits").inc(metrics.hits)
+        reg.counter("serve.errors").inc(metrics.errors)
+        reg.counter("serve.shed").inc(metrics.shed)
+        reg.counter("serve.stale_served").inc(metrics.stale_served)
+        reg.counter("serve.breaker_opens").inc(metrics.breaker_opens)
+        reg.gauge("serve.object_hit_ratio").set(metrics.object_hit_ratio)
+        reg.gauge("serve.byte_hit_ratio").set(metrics.byte_hit_ratio)
+        reg.gauge("serve.p99_latency_ms").set(metrics.p99_latency_ms)
+        reg.gauge("serve.degraded_fraction").set(metrics.degraded_fraction)
+        if metrics.telemetry:
+            reg.set_gauges("serve.policy", metrics.telemetry)
+
 
 async def _client(
     service: CacheService,
@@ -364,6 +472,7 @@ def run_service(
     workload_name: str = "",
     faults: Optional[FaultConfig] = None,
     resilience: Optional[ResilienceConfig] = None,
+    obs=None,
 ) -> ServeMetrics:
     """Run a request stream through the concurrent service, end to end.
 
@@ -377,7 +486,9 @@ def run_service(
     misbehavior; ``resilience`` configures graceful degradation (when
     only ``faults`` is given, the default :class:`ResilienceConfig`
     applies).  With both left ``None`` the original request path runs
-    unchanged.
+    unchanged.  ``obs`` (a :class:`repro.obs.ObsSession`) opts the run
+    into telemetry sampling; exporting the artifacts is the caller's
+    job (see :meth:`ServeJob.execute <repro.serve.jobs.ServeJob>`).
     """
     recorder = MetricsRecorder(
         policy=policy.name,
@@ -392,6 +503,7 @@ def run_service(
         warmup_requests=warmup_requests,
         faults=faults,
         resilience=resilience,
+        obs=obs,
     )
     if num_clients <= 1:
         replay_requests(service, requests)
@@ -399,4 +511,5 @@ def run_service(
         asyncio.run(_drive(service, requests, num_clients))
     metrics = recorder.finalize()
     metrics.telemetry = dict(policy.telemetry())
+    service.obs_summary(metrics)
     return metrics

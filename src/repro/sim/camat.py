@@ -18,7 +18,7 @@ watermark suffices).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 
 @dataclass(slots=True)
@@ -74,8 +74,10 @@ class CAMATMonitor:
         "t_mem",
         "epoch_cycles",
         "cores",
+        "epochs_closed",
         "_epoch_end",
         "_listeners",
+        "_observers",
     )
 
     def __init__(
@@ -85,12 +87,27 @@ class CAMATMonitor:
         self.t_mem = t_mem
         self.epoch_cycles = epoch_cycles
         self.cores: List[CoreCAMATState] = [CoreCAMATState() for _ in range(num_cores)]
+        self.epochs_closed = 0
         self._epoch_end = epoch_cycles
         self._listeners: List[Callable[[List[bool]], None]] = []
+        self._observers: List[Callable[[int, float, List[float], List[bool]], None]] = []
 
     def add_epoch_listener(self, listener: Callable[[List[bool]], None]) -> None:
         """Register a callback receiving obstruction flags each epoch."""
         self._listeners.append(listener)
+
+    def add_epoch_observer(
+        self, observer: Callable[[int, float, List[float], List[bool]], None]
+    ) -> None:
+        """Register a telemetry tap receiving ``(epoch_index, end_cycle,
+        per_core_camat, obstruction_flags)`` for every closed epoch.
+
+        Observers are the observability hook: unlike the listeners
+        (which policies depend on for behavior), observers never feed
+        back into decisions, and the per-core C-AMAT list is only
+        materialized when at least one observer is registered.
+        """
+        self._observers.append(observer)
 
     @property
     def epoch_end(self) -> float:
@@ -103,28 +120,50 @@ class CAMATMonitor:
         self.cores[core].record(start_cycle, service)
 
     def maybe_close_epoch(self, now: float) -> bool:
-        """Close the epoch if ``now`` passed its end; returns True if closed."""
+        """Close every epoch whose end ``now`` passed; True if any closed.
+
+        When ``now`` jumps several boundaries at once (a core stalled or
+        idle across whole epochs), each elapsed epoch closes separately:
+        the first takes the accumulated window, the wholly-skipped ones
+        close with an empty window (C-AMAT 0.0, unobstructed).  Epoch
+        counts, obstructed-epoch fractions and listener cadence therefore
+        track simulated time one-to-one instead of collapsing a gap of
+        N quiet epochs into a single close.
+        """
         if now < self._epoch_end:
             return False
-        flags = []
+        self._close_one(with_window=True)
+        while self._epoch_end <= now:
+            self._close_one(with_window=False)
+        return True
+
+    def _close_one(self, with_window: bool) -> None:
+        """Close exactly one epoch; empty-window closes report C-AMAT 0.0."""
+        flags: List[bool] = []
+        camats: Optional[List[float]] = [] if self._observers else None
         for state in self.cores:
-            camat = (
-                state.epoch_active_cycles / state.epoch_accesses
-                if state.epoch_accesses
-                else 0.0
-            )
+            if with_window and state.epoch_accesses:
+                camat = state.epoch_active_cycles / state.epoch_accesses
+                state.epoch_active_cycles = 0.0
+                state.epoch_accesses = 0
+            else:
+                camat = 0.0
             state.obstructed = camat > self.t_mem
             state.epochs += 1
             if state.obstructed:
                 state.obstructed_epochs += 1
-            state.epoch_active_cycles = 0.0
-            state.epoch_accesses = 0
             flags.append(state.obstructed)
-        while self._epoch_end <= now:
-            self._epoch_end += self.epoch_cycles
+            if camats is not None:
+                camats.append(camat)
+        end = self._epoch_end
+        self._epoch_end = end + self.epoch_cycles
+        index = self.epochs_closed
+        self.epochs_closed = index + 1
         for listener in self._listeners:
             listener(flags)
-        return True
+        if camats is not None:
+            for observer in self._observers:
+                observer(index, end, camats, flags)
 
     def obstruction_flags(self) -> List[bool]:
         return [state.obstructed for state in self.cores]

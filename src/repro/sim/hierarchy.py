@@ -549,3 +549,31 @@ class CoreHierarchy:
         owner = self._pf_owner.pop(block, None)
         if owner is not None:
             owner.credit_useful()
+
+    # --- observability -----------------------------------------------------------
+
+    def obs_level_stats(self) -> dict:
+        """Cumulative private-level counters for telemetry snapshots.
+
+        Read-only: the obs layer samples this at epoch/run boundaries,
+        so the demand walk itself carries no instrumentation (the
+        zero-overhead-when-off contract of :mod:`repro.obs`).
+        """
+        l1, l2 = self.l1.stats, self.l2.stats
+        return {
+            "core": self.core_id,
+            "l1_demand_hits": l1.demand_hits,
+            "l1_demand_misses": l1.demand_misses,
+            "l2_demand_hits": l2.demand_hits,
+            "l2_demand_misses": l2.demand_misses,
+            "l1_mshr_merges": self.l1.mshr.merges,
+            "l2_mshr_merges": self.l2.mshr.merges,
+            "prefetch_drops": self.prefetch_drops,
+            "prefetch_filtered": self.prefetch_filtered,
+            "prefetch_issued": (
+                self.l1_prefetcher.stats.issued + self.l2_prefetcher.stats.issued
+            ),
+            "prefetch_useful": (
+                self.l1_prefetcher.stats.useful + self.l2_prefetcher.stats.useful
+            ),
+        }

@@ -134,9 +134,13 @@ class MultiCoreSystem:
         config: SystemConfig,
         llc_policy: Optional[ReplacementPolicy] = None,
         prefetch_config: str = "nl_stride",
+        obs=None,
     ) -> None:
         self.config = config
         self.policy = llc_policy or LRUPolicy()
+        #: optional repro.obs.ObsSession; None (the default) leaves the
+        #: run loop and epoch machinery exactly as instrumented-free code
+        self.obs = obs
         if prefetch_config not in PREFETCH_CONFIGS:
             raise KeyError(
                 f"unknown prefetch config {prefetch_config!r}; "
@@ -164,6 +168,8 @@ class MultiCoreSystem:
         # CHROME's agent needs the live obstruction flags at reward time.
         if hasattr(self.policy, "bind_camat"):
             self.policy.bind_camat(self.camat)
+        if obs is not None:
+            self._wire_obs(obs)
 
         self.cores: List[CoreHierarchy] = []
         for core_id in range(config.num_cores):
@@ -194,6 +200,99 @@ class MultiCoreSystem:
                     core_config=config.core,
                 )
             )
+
+    # --- observability -----------------------------------------------------------
+
+    def _wire_obs(self, obs) -> None:
+        """Register the telemetry taps (only ever called with obs on).
+
+        Everything rides on the C-AMAT epoch-observer callback — the
+        hot loop itself is untouched, so a disabled-obs run executes
+        byte-identical code (the zero-overhead-when-off contract).
+        Timestamps on the trace axis are virtual: 1 trace microsecond
+        per 1000 simulated cycles.
+        """
+        timeline = obs.timeline
+        tracer = obs.tracer
+        camat = self.camat
+        dram = self.dram
+        llc = self.llc
+        policy = self.policy
+        reward_mix = getattr(policy, "reward_mix", None)
+        qtable = getattr(policy, "qtable", None)
+        epoch_cycles = camat.epoch_cycles
+        tracer.name_thread(0, "epochs")
+        for i in range(self.config.num_cores):
+            tracer.name_thread(i + 1, f"core{i}")
+
+        def observe(index, end_cycle, camats, flags):
+            row = {
+                "epoch": index,
+                "end_cycle": end_cycle,
+                "camat": camats,
+                "obstructed": flags,
+                "t_mem": camat.t_mem,
+                "dram_row_hit_rate": dram.row_hit_rate,
+                "llc_demand_hits": llc.stats.demand_hits,
+                "llc_demand_misses": llc.stats.demand_misses,
+            }
+            if reward_mix is not None:
+                row["reward_mix"] = reward_mix()
+            if qtable is not None:
+                row["q_lookups"] = qtable.lookups
+                row["q_updates"] = qtable.updates
+            timeline.record("sim_epoch", **row)
+            ts = end_cycle / 1000.0
+            dur = epoch_cycles / 1000.0
+            obstructed_cores = sum(flags)
+            tracer.complete(
+                f"epoch {index}",
+                ts - dur,
+                dur,
+                tid=0,
+                args={"obstructed_cores": obstructed_cores},
+            )
+            tracer.counter(
+                "camat", ts, {f"core{i}": c for i, c in enumerate(camats)}
+            )
+            for i, flag in enumerate(flags):
+                if flag:
+                    tracer.instant("llc_obstructed", ts, tid=i + 1)
+
+        camat.add_epoch_observer(observe)
+
+    def _record_obs_summary(self, obs, result: "SystemResult") -> None:
+        """End-of-run summary row + registry gauges (obs-enabled only)."""
+        camat = self.camat
+        summary = {
+            "policy": result.policy_name,
+            "epochs_closed": camat.epochs_closed,
+            "ipcs": result.ipcs,
+            "camat_summary": result.camat_summary,
+            "dram_row_hit_rate": self.dram.row_hit_rate,
+            "prefetcher_accuracy": result.prefetcher_accuracy,
+            "levels": [h.obs_level_stats() for h in self.cores],
+        }
+        telemetry = result.extra.get("policy_telemetry")
+        if telemetry is not None:
+            summary["policy_telemetry"] = telemetry
+        qtable = getattr(self.policy, "qtable", None)
+        if qtable is not None:
+            summary["q_health"] = qtable.health_stats()
+        obs.timeline.record("sim_summary", **summary)
+        registry = obs.registry
+        registry.counter("sim.epochs").inc(camat.epochs_closed)
+        registry.counter("sim.llc_demand_hits").inc(self.llc.stats.demand_hits)
+        registry.counter("sim.llc_demand_misses").inc(self.llc.stats.demand_misses)
+        registry.gauge("sim.dram_row_hit_rate").set(self.dram.row_hit_rate)
+        for i, fraction in enumerate(
+            result.camat_summary.get("per_core_obstructed_epoch_fraction", [])
+        ):
+            registry.gauge(f"sim.core{i}.obstructed_epoch_fraction").set(fraction)
+        if telemetry is not None:
+            registry.set_gauges("sim.policy", telemetry)
+        if qtable is not None:
+            registry.set_gauges("sim.qtable", summary["q_health"])
 
     # --- running -----------------------------------------------------------------
 
@@ -354,7 +453,7 @@ class MultiCoreSystem:
         extra = {}
         if hasattr(self.policy, "telemetry"):
             extra["policy_telemetry"] = self.policy.telemetry()
-        return SystemResult(
+        result = SystemResult(
             policy_name=self.policy.name,
             cores=core_results,
             llc_stats=self.llc.stats,
@@ -363,6 +462,9 @@ class MultiCoreSystem:
             prefetcher_accuracy=(useful / issued if issued else 0.0),
             extra=extra,
         )
+        if self.obs is not None:
+            self._record_obs_summary(self.obs, result)
+        return result
 
     def _reset_measured_stats(self) -> None:
         """Zero the measured-region statistics; learning state persists."""

@@ -94,3 +94,48 @@ def test_summary_shape():
     assert summary["t_mem"] == 42.0
     assert len(summary["per_core_camat"]) == 2
     assert summary["per_core_obstructed_epoch_fraction"][0] == 0.0
+
+
+def test_idle_gap_closes_every_elapsed_epoch():
+    """A core idle across several epochs must close each one separately:
+    epoch counts, listener cadence and observer indices all advance once
+    per elapsed epoch (the multi-epoch-gap off-by-one regression)."""
+    mon = CAMATMonitor(num_cores=1, t_mem=10.0, epoch_cycles=100.0)
+    listener_calls = []
+    observer_calls = []
+    mon.add_epoch_listener(lambda flags: listener_calls.append(list(flags)))
+    mon.add_epoch_observer(
+        lambda index, end, camats, flags: observer_calls.append(
+            (index, end, list(camats))
+        )
+    )
+    mon.record_llc_access(0, 0.0, 40.0)
+    # `now` jumps past epochs [0,100), [100,200), [200,300): three closes.
+    assert mon.maybe_close_epoch(310.0)
+    assert mon.epochs_closed == 3
+    assert mon.cores[0].epochs == 3
+    assert len(listener_calls) == 3
+    # The first close takes the accumulated window; the skipped epochs
+    # close empty (C-AMAT 0.0, unobstructed).
+    assert observer_calls == [
+        (0, 100.0, [40.0]),
+        (1, 200.0, [0.0]),
+        (2, 300.0, [0.0]),
+    ]
+    assert not mon.is_obstructed(0)
+    # The next boundary is exactly one epoch further on.
+    assert not mon.maybe_close_epoch(399.0)
+    assert mon.maybe_close_epoch(400.0)
+    assert mon.epochs_closed == 4
+
+
+def test_obstructed_epoch_fraction_counts_idle_epochs():
+    """Obstructed-epoch fractions are per elapsed epoch, so a long idle
+    gap dilutes the fraction instead of being collapsed away."""
+    mon = CAMATMonitor(num_cores=1, t_mem=10.0, epoch_cycles=100.0)
+    mon.record_llc_access(0, 0.0, 50.0)  # camat 50 > 10 -> obstructed
+    mon.maybe_close_epoch(400.0)  # epochs 0..3 close; only epoch 0 obstructed
+    summary = mon.summary()
+    assert mon.cores[0].epochs == 4
+    assert mon.cores[0].obstructed_epochs == 1
+    assert summary["per_core_obstructed_epoch_fraction"] == [0.25]

@@ -133,7 +133,9 @@ def _serve_stats(metrics) -> dict:
         "backend_fetches": metrics.backend_fetches,
         "backend_bytes": metrics.backend_bytes,
         "admitted": metrics.admitted,
+        "admitted_bytes": metrics.admitted_bytes,
         "bypassed": metrics.bypassed,
+        "bypassed_bytes": metrics.bypassed_bytes,
         "evictions": metrics.evictions,
         "evicted_bytes": metrics.evicted_bytes,
         "peak_outstanding": metrics.peak_outstanding,

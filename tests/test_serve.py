@@ -353,7 +353,59 @@ def test_latency_model_penalizes_queueing():
 
 def test_percentile_nearest_rank():
     values = [float(v) for v in range(1, 101)]
-    assert percentile(values, 0.5) == 51.0
-    assert percentile(values, 0.99) == 100.0
+    # Nearest-rank: value at 1-indexed rank ceil(f * n).
+    assert percentile(values, 0.5) == 50.0
+    assert percentile(values, 0.99) == 99.0
     assert percentile(values, 1.0) == 100.0
+    assert percentile(values, 0.0) == 1.0
     assert percentile([], 0.99) == 0.0
+    # p99 of a small sample must not collapse onto the max.
+    assert percentile([1.0, 2.0], 0.5) == 1.0
+    assert percentile([1.0] * 99 + [1000.0], 0.99) == 1.0
+
+
+# --- percentile: randomized property test vs the brute-force definition -------
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    _HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships with the image
+    _HAVE_HYPOTHESIS = False
+
+
+def _brute_force_nearest_rank(sorted_values, fraction):
+    """The definition, written independently: smallest sample whose
+    cumulative share of the distribution is >= ``fraction``."""
+    n = len(sorted_values)
+    for i, value in enumerate(sorted_values):
+        if (i + 1) / n >= fraction:
+            return value
+    return sorted_values[-1]
+
+
+if _HAVE_HYPOTHESIS:
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=400,
+        ),
+        fraction=st.one_of(
+            st.floats(min_value=0.0, max_value=1.0),
+            st.sampled_from([0.0, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0]),
+        ),
+    )
+    def test_percentile_matches_brute_force(values, fraction):
+        ordered = sorted(values)
+        assert percentile(ordered, fraction) == _brute_force_nearest_rank(
+            ordered, fraction
+        )

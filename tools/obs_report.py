@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Summarize a repro.obs artifact directory from the command line.
+
+Thin wrapper over :mod:`repro.obs.report` for runs launched outside
+the ``chrome-repro`` CLI (e.g. ``benchmarks/bench_serve_faults.py
+--obs-dir DIR``)::
+
+    PYTHONPATH=src python tools/obs_report.py DIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.report import render, summarize  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "obs_dir", nargs="?", default="obs-artifacts",
+        help="obs artifact directory (default obs-artifacts)",
+    )
+    args = parser.parse_args()
+    print(render(summarize(args.obs_dir)))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # e.g. `tools/obs_report.py DIR | head`
+        raise SystemExit(0)
