@@ -12,6 +12,17 @@ Layout:
 * :mod:`repro.experiments` — the harness regenerating every table and
   figure of the paper's evaluation.
 
+* :mod:`repro.serve` — the object-cache serving layer driven by the
+  CHROME agent (chaos + graceful degradation included);
+* :mod:`repro.cluster` — the serving layer scaled out: a consistent-
+  hash fleet of serve shards with Q-table federation;
+* :mod:`repro.obs` — opt-in observability (timelines, Chrome traces,
+  counters).
+
+This module is the *versioned facade*: everything in ``__all__`` is
+the stable public surface — new subsystems extend it, minor releases
+never remove from it.
+
 Quick start::
 
     from repro import ChromePolicy, MultiCoreSystem, SystemConfig
@@ -23,8 +34,18 @@ Quick start::
                              llc_policy=ChromePolicy())
     result = system.run(traces, warmup_accesses=10_000)
     print(result.ipcs, result.llc_stats.demand_miss_ratio)
+
+Serving-layer quick start: see ``examples/cluster_quickstart.py`` and
+the README's cluster section.
 """
 
+from .cluster import (
+    ClusterJob,
+    ClusterMetrics,
+    ClusterService,
+    HashRing,
+    run_cluster,
+)
 from .core import (
     ChromeConfig,
     ChromePolicy,
@@ -36,6 +57,8 @@ from .core import (
     make_nchrome_policy,
     overhead_comparison,
 )
+from .core.persistence import restore_agent, save_agent
+from .obs import ObsConfig
 from .experiments import (
     Engine,
     ExperimentPlan,
@@ -58,6 +81,14 @@ from .sim import (
     SystemConfig,
     SystemResult,
 )
+from .serve import (
+    CacheService,
+    ServeJob,
+    ServeMetrics,
+    ServiceConfig,
+    run_configured,
+    run_service,
+)
 from .sim.replacement import PAPER_SCHEMES, POLICY_REGISTRY, make_policy
 from .traces import (
     ALL_SPEC_WORKLOADS,
@@ -69,21 +100,27 @@ from .traces import (
     homogeneous_mix,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_SPEC_WORKLOADS",
     "CAMATMonitor",
     "Cache",
+    "CacheService",
     "ChromeConfig",
     "ChromePolicy",
+    "ClusterJob",
+    "ClusterMetrics",
+    "ClusterService",
     "DRAMModel",
     "Engine",
     "EvaluationQueue",
     "ExperimentPlan",
     "ExperimentScale",
     "FeatureExtractor",
+    "HashRing",
     "MixSpec",
+    "ObsConfig",
     "PolicySpec",
     "ResultCache",
     "SimJob",
@@ -94,6 +131,9 @@ __all__ = [
     "QTable",
     "RewardConfig",
     "Runner",
+    "ServeJob",
+    "ServeMetrics",
+    "ServiceConfig",
     "SystemConfig",
     "SystemResult",
     "Trace",
@@ -108,6 +148,11 @@ __all__ = [
     "overhead_comparison",
     "register_experiment",
     "resolve_policy",
+    "restore_agent",
+    "run_cluster",
+    "run_configured",
     "run_experiment",
+    "run_service",
+    "save_agent",
     "__version__",
 ]

@@ -84,7 +84,131 @@ def _build_parser() -> argparse.ArgumentParser:
         "obs_dir", nargs="?", default="obs-artifacts",
         help="obs artifact directory (default obs-artifacts)",
     )
+
+    cluster = sub.add_parser(
+        "cluster", help="run one sharded cache fleet and print its metrics"
+    )
+    cluster.add_argument(
+        "--shards", type=int, default=4, help="number of cache shards"
+    )
+    cluster.add_argument(
+        "--replication", type=int, default=2, help="ring replication factor"
+    )
+    cluster.add_argument(
+        "--policy", default="chrome", help="serve policy for every shard"
+    )
+    cluster.add_argument(
+        "--workload", default="zipf_scan", help="request workload"
+    )
+    cluster.add_argument(
+        "--requests", type=int, default=20000, help="measured requests"
+    )
+    cluster.add_argument(
+        "--warmup", type=int, default=4000, help="warmup requests"
+    )
+    cluster.add_argument(
+        "--capacity-mb", type=int, default=16, help="TOTAL fleet capacity (MiB)"
+    )
+    cluster.add_argument(
+        "--clients", type=int, default=8, help="concurrent driver clients"
+    )
+    cluster.add_argument(
+        "--seed", type=int, default=0, help="workload/ring/agent seed"
+    )
+    cluster.add_argument(
+        "--federate-every", type=int, default=0, metavar="N",
+        help="merge shard Q-tables every N requests (0 = isolated shards)",
+    )
+    cluster.add_argument(
+        "--hotkey-window", type=int, default=0, metavar="N",
+        help="hot-key detection window in requests (0 = off)",
+    )
+    cluster.add_argument(
+        "--kill-shard", type=int, default=-1, metavar="I",
+        help="kill shard I for the middle quarter of the run",
+    )
+    cluster.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="record repro.obs telemetry into DIR",
+    )
     return parser
+
+
+def _run_cluster_command(args: argparse.Namespace) -> int:
+    from .cluster import ClusterJob
+
+    if args.shards < 1 or args.replication < 1:
+        print("error: --shards/--replication must be >= 1", file=sys.stderr)
+        return 2
+    kill_fault_params = ()
+    if args.kill_shard >= 0:
+        if args.kill_shard >= args.shards:
+            print(
+                f"error: --kill-shard {args.kill_shard} out of range "
+                f"(fleet has {args.shards} shards)",
+                file=sys.stderr,
+            )
+            return 2
+        # One outage window sized to ~25% of the virtual horizon (0.5 ms
+        # inter-arrival), jitter-placed inside the run.
+        horizon_ms = (args.requests + args.warmup) * 0.5
+        kill_fault_params = (
+            ("seed", 3),
+            ("outage_every_ms", round(horizon_ms, 3)),
+            ("outage_duration_ms", round(horizon_ms / 4.0, 3)),
+        )
+    job = ClusterJob(
+        workload=args.workload,
+        policy=args.policy,
+        num_requests=args.requests,
+        warmup_requests=args.warmup,
+        capacity_bytes=args.capacity_mb << 20,
+        num_segments=64,
+        num_shards=args.shards,
+        replication=args.replication,
+        num_clients=args.clients,
+        seed=args.seed,
+        federate_every=args.federate_every,
+        hotkey_window=args.hotkey_window,
+        kill_shard=args.kill_shard if kill_fault_params else -1,
+        kill_fault_params=kill_fault_params,
+    )
+    obs_config = None
+    if args.obs_dir is not None:
+        from .obs import ObsConfig
+
+        obs_config = ObsConfig(out_dir=args.obs_dir)
+    start = time.time()
+    metrics = job.execute(obs=obs_config)
+    fleet = metrics.fleet
+    print(f"fleet: {args.shards} shards x {args.policy} on {args.workload}")
+    print(
+        f"  requests {fleet.requests}  object_hit "
+        f"{100.0 * fleet.object_hit_ratio:.2f}%  byte_hit "
+        f"{100.0 * fleet.byte_hit_ratio:.2f}%  p99 "
+        f"{fleet.p99_latency_ms:.2f}ms"
+    )
+    print(
+        f"  ring: routed {metrics.routed}  reroutes {metrics.reroutes}  "
+        f"changes {metrics.ring_changes}  unroutable {metrics.unroutable}"
+    )
+    print(
+        f"  federation rounds {metrics.federations}  hot_splits "
+        f"{metrics.hot_splits}  hot_evictions {metrics.hot_evictions}"
+    )
+    for idx, m in enumerate(metrics.per_shard):
+        print(
+            f"  shard {idx}: requests {m.requests}  byte_hit "
+            f"{100.0 * m.byte_hit_ratio:.2f}%  evictions {m.evictions}"
+        )
+    print(f"[cluster run took {time.time() - start:.1f}s]")
+    if obs_config is not None:
+        print(
+            f"[obs artifacts in {obs_config.out_dir}; summarize with "
+            f"`chrome-repro obs-report {obs_config.out_dir}`]",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
@@ -99,6 +223,8 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
 
 def _run_cli(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "cluster":
+        return _run_cluster_command(args)
     if args.command == "obs-report":
         from .obs.report import render as render_obs, summarize
 

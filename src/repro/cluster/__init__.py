@@ -1,0 +1,39 @@
+"""``repro.cluster`` — a sharded cache fleet with Q-table federation.
+
+The serving layer scaled out toward the north star's production tier:
+a consistent-hash ring with seeded virtual nodes and replication
+(:mod:`.ring`) routes one request stream over N independent
+:class:`~repro.serve.service.CacheService` shards
+(:mod:`.cluster`), each running its own CHROME serve agent.  Shard
+kills are FaultConfig outage windows evaluated in virtual time, so the
+ring reroutes and heals bit-identically at any client count; hot keys
+are detected by windowed top-k (:mod:`.hotkeys`) and split across
+replicas; and the shards' Q-tables are periodically merged by
+entrywise averaging (:mod:`.federate`) built on the PR 3
+``state_dict`` persistence layer — the fleet learns faster than any
+isolated shard (the bench gate pins this).
+
+Importing this package registers the ``cluster`` experiment with the
+shared registry; :class:`~repro.cluster.jobs.ClusterJob` specs run on
+the parallel experiment engine like every other job kind.
+"""
+
+from .cluster import ClusterMetrics, ClusterService, run_cluster
+from .federate import federate_agents, merge_qtable_states
+from .hotkeys import HotKeyDetector
+from .jobs import CLUSTER_CODE_VERSION, ClusterJob
+from .ring import HashRing
+
+from . import experiments as _experiments  # noqa: F401  (eager registration)
+
+__all__ = [
+    "CLUSTER_CODE_VERSION",
+    "ClusterJob",
+    "ClusterMetrics",
+    "ClusterService",
+    "HashRing",
+    "HotKeyDetector",
+    "federate_agents",
+    "merge_qtable_states",
+    "run_cluster",
+]

@@ -1,0 +1,117 @@
+"""Consistent-hash ring with seeded virtual nodes and replication.
+
+The fleet's router: ``num_shards`` cache shards each own ``vnodes``
+points on a 64-bit ring, a key hashes to a point, and its *preference
+order* is the clockwise walk from that point collecting distinct
+shards.  The design choices are the standard ones (Karger rings,
+Dynamo preference lists), made deterministic the repro way:
+
+* **seeded virtual nodes** — point positions are ``mix_hash`` of
+  ``(seed, shard, vnode)``, pure arithmetic with no ``hash()``
+  involvement, so two processes (or two machines) build bit-identical
+  rings;
+* **replication factor R** — :meth:`HashRing.preference` returns up to
+  R distinct shards; replica walks are how failover works: a dead
+  shard is *skipped*, not removed, so the ring "heals" without moving
+  any point and un-heals identically when the shard returns;
+* **static topology, dynamic liveness** — the point set never changes
+  mid-run.  Liveness is an argument to the walk, which keeps routing a
+  pure function of ``(ring, key, live-mask)`` — the property the
+  cluster's bit-identical failover golden rests on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.address import mix_hash
+
+_MASK64 = (1 << 64) - 1
+
+
+class HashRing:
+    """Seeded consistent-hash ring over ``num_shards`` shards."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        *,
+        replication: int = 2,
+        vnodes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if not 1 <= replication:
+            raise ValueError("replication must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.num_shards = num_shards
+        self.replication = min(replication, num_shards)
+        self.vnodes = vnodes
+        self.seed = seed
+        points: List[Tuple[int, int]] = []
+        for shard in range(num_shards):
+            for v in range(vnodes):
+                point = mix_hash(
+                    ((seed & _MASK64) << 1)
+                    ^ (shard * 0x9E3779B97F4A7C15)
+                    ^ (v << 20)
+                )
+                points.append((point, shard))
+        points.sort()
+        self._points = points
+        self._hashes = [p for p, _ in points]
+
+    # --- routing ------------------------------------------------------------------
+
+    def preference(
+        self, key: int, live: Optional[Sequence[bool]] = None
+    ) -> List[int]:
+        """Up to ``replication`` distinct shards in preference order.
+
+        The clockwise walk from the key's ring position, skipping dead
+        shards when a ``live`` mask is given.  Element 0 is the
+        (currently live) primary; a shard kill therefore shifts every
+        key it owned one step down its preference list and *nothing
+        else moves* — consistent hashing's whole point.  Returns fewer
+        than R shards only when fewer than R are live.
+        """
+        points = self._points
+        n = len(points)
+        idx = bisect_left(self._hashes, mix_hash(key))
+        want = self.replication
+        chosen: List[int] = []
+        for step in range(n):
+            shard = points[(idx + step) % n][1]
+            if shard in chosen:
+                continue
+            if live is not None and not live[shard]:
+                continue
+            chosen.append(shard)
+            if len(chosen) == want:
+                break
+        return chosen
+
+    def primary(self, key: int) -> int:
+        """The key's home shard ignoring liveness (reroute accounting)."""
+        points = self._points
+        idx = bisect_left(self._hashes, mix_hash(key))
+        return points[idx % len(points)][1]
+
+    # --- introspection ------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Topology summary for obs rows / debugging."""
+        owned = [0] * self.num_shards
+        for _, shard in self._points:
+            owned[shard] += 1
+        return {
+            "num_shards": self.num_shards,
+            "replication": self.replication,
+            "vnodes": self.vnodes,
+            "seed": self.seed,
+            "points": len(self._points),
+            "vnodes_per_shard": owned,
+        }

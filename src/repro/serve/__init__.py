@@ -26,6 +26,7 @@ experiment engine like every paper figure.
 """
 
 from .agent import BackendObstructionMonitor, ChromeServePolicy, ServeAgent
+from .config import ServiceConfig
 from .faults import FaultConfig, FaultInjector
 from .jobs import SERVE_CODE_VERSION, ServeJob
 from .metrics import MetricsRecorder, ServeMetrics, TenantMetrics
@@ -47,7 +48,14 @@ from .policies import (
     make_serve_policy,
     register_serve_policy,
 )
-from .service import Backend, CacheService, LatencyConfig, replay_requests, run_service
+from .service import (
+    Backend,
+    CacheService,
+    LatencyConfig,
+    replay_requests,
+    run_configured,
+    run_service,
+)
 from .store import CachedObject, ObjectStore
 from .workloads import WORKLOADS, Request, build_workload, object_size
 
@@ -81,6 +89,7 @@ __all__ = [
     "ServeJob",
     "ServeMetrics",
     "ServePolicy",
+    "ServiceConfig",
     "TenantMetrics",
     "WORKLOADS",
     "build_workload",
@@ -88,5 +97,6 @@ __all__ = [
     "object_size",
     "register_serve_policy",
     "replay_requests",
+    "run_configured",
     "run_service",
 ]

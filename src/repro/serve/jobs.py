@@ -8,6 +8,11 @@ spec*, so a job executes identically inline, in a ``--jobs N`` worker
 process, or on a disk-cache replay — the engine schedules, dedups and
 memoizes serve jobs exactly like simulation jobs (it dispatches on
 ``job.execute()``; see :func:`repro.experiments.jobspec.execute_job`).
+
+Runtime assembly is delegated to :mod:`repro.serve.config`: a job is
+the *schedulable identity*, its :meth:`ServeJob.service_config` is the
+*runtime spec*, and :func:`repro.serve.service.run_configured` does the
+rest.
 """
 
 from __future__ import annotations
@@ -15,21 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-from ..sim.address import mix_hash
-from .faults import FaultConfig
+from .config import ServiceConfig, build_fault_config, build_resilience_config
 from .metrics import ServeMetrics
-from .policies import make_serve_policy
-from .resilience import ResilienceConfig
-from .service import run_service
+from .service import run_configured
 from .workloads import build_workload
 
 #: Bump when serve semantics change in a way that must invalidate
 #: previously cached serve results (the serve analogue of
 #: :data:`repro.experiments.jobspec.CODE_VERSION`).
 SERVE_CODE_VERSION = "serve-1"
-
-#: policies whose exploration RNG is seeded from the job spec
-_SEEDED_POLICIES = frozenset({"chrome"})
 
 
 @dataclass(frozen=True)
@@ -78,6 +77,22 @@ class ServeJob:
             self.resilience_params,
         )
 
+    def service_config(self) -> ServiceConfig:
+        """The runtime spec this job describes (see serve/config.py)."""
+        return ServiceConfig.from_params(
+            capacity_bytes=self.capacity_bytes,
+            num_segments=self.num_segments,
+            policy=self.policy,
+            policy_params=self.policy_params,
+            num_clients=self.num_clients,
+            warmup_requests=self.warmup_requests,
+            checkpoint_every=self.checkpoint_every,
+            seed=self.seed,
+            workload_name=self.workload,
+            fault_params=self.fault_params,
+            resilience_params=self.resilience_params,
+        )
+
     def build_policy(self):
         """Fresh policy instance, RNG-seeded from this spec.
 
@@ -86,40 +101,16 @@ class ServeJob:
         two jobs differing only in seed train differently, and the
         same job always trains identically.
         """
-        params = dict(self.policy_params)
-        if self.policy in _SEEDED_POLICIES:
-            params.setdefault(
-                "seed", mix_hash((self.seed << 8) ^ len(self.policy))
-            )
-        return make_serve_policy(self.policy, **params)
+        return self.service_config().build_policy()
 
     def build_faults(self):
         """FaultConfig from the spec (None when no faults requested)."""
-        if not self.fault_params:
-            return None
-        return FaultConfig(**dict(self.fault_params))
+        return build_fault_config(self.fault_params)
 
     def build_resilience(self):
-        """ResilienceConfig from the spec.
-
-        ``("preset", "none")`` selects :meth:`ResilienceConfig.none`
-        (the no-resilience control group) with any remaining params
-        overriding it; an empty tuple returns None, which means
-        *default* resilience when faults are injected and the plain
-        request path otherwise.
-        """
-        if not self.resilience_params:
-            return None
-        params = dict(self.resilience_params)
-        preset = params.pop("preset", "default")
-        if preset == "none":
-            base = ResilienceConfig.none()
-            from dataclasses import replace
-
-            return replace(base, **params) if params else base
-        if preset != "default":
-            raise ValueError(f"unknown resilience preset {preset!r}")
-        return ResilienceConfig(**params)
+        """ResilienceConfig from the spec (see
+        :func:`repro.serve.config.build_resilience_config`)."""
+        return build_resilience_config(self.resilience_params)
 
     def execute(self, obs=None) -> ServeMetrics:
         """Run this job from its spec alone (pure given the spec).
@@ -141,18 +132,8 @@ class ServeJob:
                 repr(self.canonical()).encode()
             ).hexdigest()[:10]
             session = obs.session(f"serve-{self.workload}-{self.policy}-{digest}")
-        metrics = run_service(
-            requests,
-            self.build_policy(),
-            self.capacity_bytes,
-            self.num_segments,
-            num_clients=self.num_clients,
-            warmup_requests=self.warmup_requests,
-            checkpoint_every=self.checkpoint_every,
-            workload_name=self.workload,
-            faults=self.build_faults(),
-            resilience=self.build_resilience(),
-            obs=session,
+        metrics = run_configured(
+            requests, self.service_config(), obs=session
         )
         if session is not None:
             session.export()

@@ -268,6 +268,16 @@ class MetricsRecorder:
             self.metrics.evictions += 1
             self.metrics.evicted_bytes += size
 
+    def latency_samples(self) -> List[float]:
+        """Raw per-request latencies (arrival order) — fleet aggregation
+        re-sorts the union so cluster percentiles are exact, not
+        approximations stitched from per-shard percentiles."""
+        return list(self._latencies)
+
+    def degraded_latency_samples(self) -> List[float]:
+        """Raw degraded-mode latencies (arrival order)."""
+        return list(self._degraded_latencies)
+
     def finalize(self) -> ServeMetrics:
         m = self.metrics
         if self._latencies:

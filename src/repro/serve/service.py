@@ -38,31 +38,16 @@ from __future__ import annotations
 
 import asyncio
 import heapq
-from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from .agent import BackendObstructionMonitor
+from .config import LatencyConfig, ServiceConfig
 from .faults import FaultConfig, FaultInjector
 from .metrics import MetricsRecorder, ServeMetrics
 from .policies import ServePolicy
 from .resilience import ResilienceConfig, ResilienceState
 from .store import ObjectStore
 from .workloads import Request
-
-
-@dataclass(frozen=True)
-class LatencyConfig:
-    """Virtual-time latency model (milliseconds / bytes-per-ms)."""
-
-    hit_base_ms: float = 0.1
-    hit_bytes_per_ms: float = 4 * 1024 * 1024  # ~4 GB/s from local cache
-    backend_base_ms: float = 6.0
-    backend_bytes_per_ms: float = 256 * 1024  # ~256 MB/s origin path
-    queue_penalty_ms: float = 0.25  # per outstanding backend fetch
-    inter_arrival_ms: float = 0.5
-
-    def hit_latency(self, size: int) -> float:
-        return self.hit_base_ms + size / self.hit_bytes_per_ms
 
 
 class Backend:
@@ -141,7 +126,20 @@ class CacheService:
         faults: Optional[FaultConfig] = None,
         resilience: Optional[ResilienceConfig] = None,
         obs=None,
+        config: Optional[ServiceConfig] = None,
     ) -> None:
+        # ``config`` is the consolidated spec (see serve/config.py); the
+        # individual kwargs remain as the legacy surface and, when given
+        # explicitly, win over the config's fields.
+        if config is not None:
+            latency = latency or config.latency
+            faults = faults if faults is not None else config.faults
+            resilience = (
+                resilience if resilience is not None else config.resilience
+            )
+            if warmup_requests == 0:
+                warmup_requests = config.warmup_requests
+        self.config = config
         self.store = store
         self.latency = latency or LatencyConfig()
         self.backend = Backend(self.latency)
@@ -157,7 +155,7 @@ class CacheService:
         if faults is not None or resilience is not None:
             self.resilience = ResilienceState(resilience or ResilienceConfig())
             if self.resilience.config.stale_entries > 0:
-                store.evict_listener = self.resilience.retain_stale
+                store.add_evict_listener(self.resilience.retain_stale)
         else:
             self.resilience = None
         if recorder is not None:
@@ -459,6 +457,58 @@ def replay_requests(
         process(seq, req)
 
 
+def run_configured(
+    requests: Sequence[Request],
+    config: ServiceConfig,
+    *,
+    policy: Optional[ServePolicy] = None,
+    obs=None,
+) -> ServeMetrics:
+    """Run a request stream through a service described by one config.
+
+    This is the canonical entry point: a :class:`ServiceConfig` holds
+    every knob (geometry, policy, latency model, faults, resilience,
+    driver concurrency, warmup, checkpointing), and the run is a pure
+    function of (requests, config).  ``policy`` optionally supplies a
+    pre-built policy instance (warm starts, legacy callers); when
+    omitted the config builds its own, RNG-seeded from the config seed.
+
+    ``config.num_clients`` controls only the *concurrency shape* of
+    the driver; metrics are bit-identical for any client count (the
+    serve layer's ``--jobs 1`` vs ``--jobs N`` determinism guarantee,
+    and it holds with fault injection enabled too).  The first
+    ``warmup_requests`` requests flow through the cache but are
+    excluded from the reported metrics, mirroring the simulator's
+    warmup convention.  ``obs`` (a :class:`repro.obs.ObsSession`) opts
+    the run into telemetry sampling; exporting the artifacts is the
+    caller's job (see :meth:`ServeJob.execute
+    <repro.serve.jobs.ServeJob>`).
+    """
+    if policy is None:
+        policy = config.build_policy()
+    recorder = MetricsRecorder(
+        policy=policy.name,
+        workload=config.workload_name,
+        checkpoint_every=config.checkpoint_every,
+    )
+    store = ObjectStore(config.capacity_bytes, config.num_segments, policy)
+    service = CacheService(
+        store,
+        recorder=recorder,
+        warmup_requests=config.warmup_requests,
+        obs=obs,
+        config=config,
+    )
+    if config.num_clients <= 1:
+        replay_requests(service, requests)
+    else:
+        asyncio.run(_drive(service, requests, config.num_clients))
+    metrics = recorder.finalize()
+    metrics.telemetry = dict(policy.telemetry())
+    service.obs_summary(metrics)
+    return metrics
+
+
 def run_service(
     requests: Sequence[Request],
     policy: ServePolicy,
@@ -474,42 +524,22 @@ def run_service(
     resilience: Optional[ResilienceConfig] = None,
     obs=None,
 ) -> ServeMetrics:
-    """Run a request stream through the concurrent service, end to end.
+    """Legacy kwargs surface — a thin shim over :func:`run_configured`.
 
-    ``num_clients`` controls only the *concurrency shape* of the
-    driver; metrics are bit-identical for any client count (this is the
-    serve layer's ``--jobs 1`` vs ``--jobs N`` determinism guarantee,
-    and it holds with fault injection enabled too).  The first
-    ``warmup_requests`` requests flow through the cache but are
-    excluded from the reported metrics, mirroring the simulator's
-    warmup convention.  ``faults`` injects deterministic backend
-    misbehavior; ``resilience`` configures graceful degradation (when
-    only ``faults`` is given, the default :class:`ResilienceConfig`
-    applies).  With both left ``None`` the original request path runs
-    unchanged.  ``obs`` (a :class:`repro.obs.ObsSession`) opts the run
-    into telemetry sampling; exporting the artifacts is the caller's
-    job (see :meth:`ServeJob.execute <repro.serve.jobs.ServeJob>`).
+    Deprecated in favor of building a :class:`ServiceConfig` and
+    calling :func:`run_configured`; kept so existing callers (and the
+    committed goldens they pin) keep working unchanged.
     """
-    recorder = MetricsRecorder(
+    config = ServiceConfig(
+        capacity_bytes=capacity_bytes,
+        num_segments=num_segments,
         policy=policy.name,
-        workload=workload_name,
-        checkpoint_every=checkpoint_every,
-    )
-    store = ObjectStore(capacity_bytes, num_segments, policy)
-    service = CacheService(
-        store,
-        latency=latency,
-        recorder=recorder,
+        num_clients=num_clients,
         warmup_requests=warmup_requests,
+        checkpoint_every=checkpoint_every,
+        workload_name=workload_name,
+        latency=latency,
         faults=faults,
         resilience=resilience,
-        obs=obs,
     )
-    if num_clients <= 1:
-        replay_requests(service, requests)
-    else:
-        asyncio.run(_drive(service, requests, num_clients))
-    metrics = recorder.finalize()
-    metrics.telemetry = dict(policy.telemetry())
-    service.obs_summary(metrics)
-    return metrics
+    return run_configured(requests, config, policy=policy, obs=obs)

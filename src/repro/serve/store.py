@@ -66,8 +66,9 @@ class ObjectStore:
         self.segment_capacity = capacity_bytes // num_segments
         self.policy = policy
         self.recorder = recorder
-        #: optional eviction tap (stale retention for resilience)
-        self.evict_listener: Optional[Callable[[CachedObject], None]] = None
+        # Eviction taps (stale retention, hot-key tracking, ...) — a
+        # list so multiple subscribers coexist; see add_evict_listener.
+        self._evict_listeners: List[Callable[[CachedObject], None]] = []
         self._segments: List[Dict[int, CachedObject]] = [
             {} for _ in range(num_segments)
         ]
@@ -80,6 +81,27 @@ class ObjectStore:
         self.forced_bypasses = 0
         self.evictions = 0
         policy.attach(num_segments, self.segment_capacity)
+
+    # --- eviction subscribers ----------------------------------------------------
+
+    def add_evict_listener(
+        self, listener: Callable[[CachedObject], None]
+    ) -> None:
+        """Subscribe to evictions; listeners fire in registration order."""
+        self._evict_listeners.append(listener)
+
+    @property
+    def evict_listener(self) -> Optional[Callable[[CachedObject], None]]:
+        """Legacy single-listener view (first subscriber, if any)."""
+        return self._evict_listeners[0] if self._evict_listeners else None
+
+    @evict_listener.setter
+    def evict_listener(
+        self, listener: Optional[Callable[[CachedObject], None]]
+    ) -> None:
+        # Deprecated assignment form: replaces the whole subscriber
+        # list, matching the old clobbering semantics exactly.
+        self._evict_listeners = [] if listener is None else [listener]
 
     # --- indexing ----------------------------------------------------------------
 
@@ -154,8 +176,8 @@ class ObjectStore:
         self._segment_bytes[seg_idx] -= obj.size
         self.evictions += 1
         self.policy.on_evict(obj, seg_idx)
-        if self.evict_listener is not None:
-            self.evict_listener(obj)
+        for listener in self._evict_listeners:
+            listener(obj)
         if self.recorder is not None:
             self.recorder.on_evict(obj.size)
 

@@ -25,6 +25,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.cluster.jobs import ClusterJob
 from repro.core.chrome import ChromePolicy
 from repro.serve.jobs import ServeJob
 from repro.sim.multicore import MultiCoreSystem, SystemConfig
@@ -35,6 +36,9 @@ GOLDEN_PATH = Path(__file__).parent / "golden" / "determinism.json"
 SERVE_GOLDEN_PATH = Path(__file__).parent / "golden" / "serve_determinism.json"
 SERVE_FAULTS_GOLDEN_PATH = (
     Path(__file__).parent / "golden" / "serve_faults_determinism.json"
+)
+CLUSTER_GOLDEN_PATH = (
+    Path(__file__).parent / "golden" / "cluster_determinism.json"
 )
 
 # Small machine (1/64 of Table V) so the whole suite runs in seconds;
@@ -273,6 +277,78 @@ def compute_serve_faults_golden() -> dict:
     }
 
 
+#: pinned shard-kill model: one outage window taking a shard down for a
+#: quarter of the 1400-request (700 virtual ms) golden runs
+_GOLDEN_KILL_FAULTS = (
+    ("seed", 3),
+    ("outage_every_ms", 700.0),
+    ("outage_duration_ms", 175.0),
+)
+
+
+def _cluster_stats(metrics) -> dict:
+    """Fleet + ring accounting, floats repr'd for exactness."""
+    return {
+        "fleet": _serve_fault_stats(metrics.fleet),
+        "per_shard": [_serve_fault_stats(m) for m in metrics.per_shard],
+        "routed": list(metrics.routed),
+        "reroutes": metrics.reroutes,
+        "unroutable": metrics.unroutable,
+        "ring_changes": metrics.ring_changes,
+        "federations": metrics.federations,
+        "hot_windows": metrics.hot_windows,
+        "hot_promotions": metrics.hot_promotions,
+        "hot_splits": metrics.hot_splits,
+        "hot_evictions": metrics.hot_evictions,
+    }
+
+
+def _cluster_case(policy: str, **overrides) -> dict:
+    spec = dict(
+        workload="zipf_scan",
+        policy=policy,
+        num_requests=1200,
+        warmup_requests=200,
+        capacity_bytes=4 << 20,
+        num_segments=64,
+        num_shards=4,
+        replication=2,
+        num_clients=5,
+        seed=17,
+        checkpoint_every=400,
+        federate_every=400,
+        hotkey_window=256,
+    )
+    spec.update(overrides)
+    return _cluster_stats(ClusterJob(**spec).execute())
+
+
+def compute_cluster_golden() -> dict:
+    """Fixed-seed fleet runs pinning the cluster layer's behavior.
+
+    The deterministic-failover guarantee is the headline pin:
+    ``chrome_federated_killshard`` kills shard 2 mid-run via FaultConfig
+    outage windows and the committed stats — fleet and per-shard — must
+    reproduce byte-identically (at *any* client count; test_cluster.py
+    pins 1 vs 64 equality, this golden pins the actual values).  The
+    LRU case adds per-shard origin chaos on top of the kill, exercising
+    the serve fault/resilience pipeline inside a routed fleet.
+    """
+    return {
+        "chrome_federated": _cluster_case("chrome"),
+        "chrome_federated_killshard": _cluster_case(
+            "chrome", kill_shard=2, kill_fault_params=_GOLDEN_KILL_FAULTS
+        ),
+        "lru_faults_killshard": _cluster_case(
+            "lru",
+            federate_every=0,
+            kill_shard=1,
+            kill_fault_params=_GOLDEN_KILL_FAULTS,
+            fault_params=_GOLDEN_FAULTS,
+        ),
+    }
+
+
 @pytest.fixture(scope="module")
 def computed() -> dict:
     return compute_golden()
@@ -389,6 +465,46 @@ def test_serve_faults_repeated_run_is_deterministic(
     assert again == serve_faults_computed
 
 
+@pytest.fixture(scope="module")
+def cluster_computed() -> dict:
+    return compute_cluster_golden()
+
+
+@pytest.fixture(scope="module")
+def cluster_golden() -> dict:
+    assert CLUSTER_GOLDEN_PATH.exists(), (
+        f"missing golden file {CLUSTER_GOLDEN_PATH}; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_determinism.py --regenerate`"
+    )
+    return json.loads(CLUSTER_GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize(
+    "case",
+    [
+        "chrome_federated",
+        "chrome_federated_killshard",
+        "lru_faults_killshard",
+    ],
+)
+def test_cluster_stats_bit_identical(
+    case: str, cluster_computed: dict, cluster_golden: dict
+) -> None:
+    assert cluster_computed[case] == cluster_golden[case], (
+        f"{case}: cluster behavior diverged from the committed golden "
+        "(ring routing, shard-kill failover, hot-key splitting and "
+        "Q-table federation are all deterministic by construction).  "
+        "If the change is intentionally behavior-altering, regenerate "
+        "with `PYTHONPATH=src python tests/test_golden_determinism.py "
+        "--regenerate` and justify the diff."
+    )
+
+
+def test_cluster_repeated_run_is_deterministic(cluster_computed: dict) -> None:
+    again = compute_cluster_golden()
+    assert again == cluster_computed
+
+
 def main() -> None:  # pragma: no cover - maintenance helper
     import argparse
 
@@ -414,6 +530,10 @@ def main() -> None:  # pragma: no cover - maintenance helper
         json.dumps(compute_serve_faults_golden(), indent=1, sort_keys=True) + "\n"
     )
     print(f"wrote {SERVE_FAULTS_GOLDEN_PATH}")
+    CLUSTER_GOLDEN_PATH.write_text(
+        json.dumps(compute_cluster_golden(), indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {CLUSTER_GOLDEN_PATH}")
 
 
 if __name__ == "__main__":  # pragma: no cover
