@@ -76,6 +76,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="artifact directory for --obs (default obs-artifacts; implies --obs)",
     )
+    run.add_argument(
+        "--backend",
+        default=None,
+        choices=["scalar", "numpy"],
+        help="Q-table execution backend (bit-identical results; numpy "
+        "vectorizes batch sweeps — see DESIGN.md §9)",
+    )
 
     report = sub.add_parser(
         "obs-report", help="summarize the artifacts of an obs-enabled run"
@@ -131,7 +138,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--obs-dir", default=None, metavar="DIR",
         help="record repro.obs telemetry into DIR",
     )
+    cluster.add_argument(
+        "--backend",
+        default=None,
+        choices=["scalar", "numpy"],
+        help="Q-table execution backend (bit-identical results; numpy "
+        "vectorizes batch sweeps — see DESIGN.md §9)",
+    )
     return parser
+
+
+def _apply_backend(backend: Optional[str]) -> None:
+    """Propagate --backend to every layer via the validated env var.
+
+    Jobs cross process boundaries as frozen specs whose ``backend``
+    fields default to None (= defer to ``REPRO_BACKEND``), so the env
+    var is exactly the right channel: worker processes inherit it, and
+    :func:`repro.core.backend.resolve_backend` validates it at every
+    construction site.
+    """
+    if backend is not None:
+        from .core.backend import resolve_backend
+
+        os.environ["REPRO_BACKEND"] = resolve_backend(backend)
 
 
 def _run_cluster_command(args: argparse.Namespace) -> int:
@@ -223,6 +252,7 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
 
 def _run_cli(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    _apply_backend(getattr(args, "backend", None))
     if args.command == "cluster":
         return _run_cluster_command(args)
     if args.command == "obs-report":

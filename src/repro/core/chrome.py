@@ -41,9 +41,9 @@ from .config import (
     MISS_ACTIONS,
     ChromeConfig,
 )
+from .backend import make_qtable
 from .eq import EQEntry, EvaluationQueue, hash_block_address
 from .features import FeatureExtractor
-from .qtable import QTable
 
 
 class ChromePolicy(ReplacementPolicy):
@@ -55,7 +55,7 @@ class ChromePolicy(ReplacementPolicy):
         super().__init__()
         self.config = config or ChromeConfig()
         self.features = FeatureExtractor(self.config.features)
-        self.qtable = QTable(self.features.num_features, self.config)
+        self.qtable = make_qtable(self.features.num_features, self.config)
         self.eq = EvaluationQueue(self.config.sampled_sets, self.config.eq_fifo_size)
         self._rng = random.Random(self.config.seed)
         # Hot-path hoists: the bound RNG method and the (construction-

@@ -31,6 +31,7 @@ evicting useless bytes exactly where misses hurt most.
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 from typing import Dict, Optional, Tuple
 
 from ..core.config import (
@@ -44,7 +45,7 @@ from ..core.config import (
 )
 from ..core.eq import EQEntry, EvaluationQueue, hash_block_address
 from ..core.persistence import restore_agent, save_agent
-from ..core.qtable import QTable
+from ..core.backend import make_qtable
 from ..sim.address import fold_hash, mix_hash
 from ..sim.replacement.optgen import choose_sampled_sets
 from .policies import ServePolicy, register_serve_policy
@@ -167,7 +168,7 @@ class ServeAgent:
     ) -> None:
         self.config = config or ChromeConfig()
         self.features = ServeFeatureExtractor()
-        self.qtable = QTable(self.features.num_features, self.config)
+        self.qtable = make_qtable(self.features.num_features, self.config)
         self.eq = EvaluationQueue(self.config.sampled_sets, self.config.eq_fifo_size)
         # Job-spec seeding, mirroring SimJob: the exploration RNG is a
         # pure function of (config seed, job seed) — nothing ambient.
@@ -333,8 +334,11 @@ class ChromeServePolicy(ServePolicy):
         config: Optional[ChromeConfig] = None,
         seed: int = 0,
         agent: Optional[ServeAgent] = None,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__()
+        if backend is not None and agent is None:
+            config = replace(config or ChromeConfig(), backend=backend)
         self.agent = agent or ServeAgent(config, seed=seed)
         self._pending_epv: Optional[Tuple[int, int]] = None  # (key, epv)
 

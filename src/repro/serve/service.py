@@ -499,6 +499,17 @@ def run_configured(
         obs=obs,
         config=config,
     )
+    from ..core.backend import resolve_backend
+
+    if resolve_backend(config.backend) == "numpy":
+        # Chunked pre-classification (numpy backend): hash each chunk
+        # of request keys into the store's segment memo in one
+        # vectorized sweep, so both drivers' per-request segment_of
+        # calls become dict hits.  Purely a throughput knob — the memo
+        # holds exactly what the scalar hash returns.
+        keys = [req.key for req in requests]
+        for start in range(0, len(keys), 4096):
+            store.preclassify(keys[start : start + 4096])
     if config.num_clients <= 1:
         replay_requests(service, requests)
     else:

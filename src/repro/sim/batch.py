@@ -1,0 +1,77 @@
+"""Vectorized sweep helpers for the numpy backend.
+
+Everything here is a *pure* re-expression of an existing scalar
+computation over a whole batch at once:
+
+* :func:`batch_mix_hash` — :func:`repro.sim.address.mix_hash`
+  (splitmix64 finalizer) over a ``uint64`` array; u64 multiplication
+  wraps exactly like the scalar ``& _MASK64`` discipline, so every
+  lane equals the scalar hash of the same value;
+* :func:`decode_chunk` — the per-record derivations of the run loop's
+  inner decode (``gap + 1``, the per-record issue increment
+  ``gap1 / width``, the 64-byte block address) computed for a whole
+  trace chunk in columnar sweeps.  The float division is the same
+  single IEEE operation per record the scalar loop performs, so the
+  derived columns are bit-identical to the scalar walk.
+
+Callers must only use these on the numpy backend; the scalar path
+never imports this module (numpy stays an opt-in dependency of the
+hot loop).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .address import BLOCK_BITS
+
+_U64 = np.uint64
+
+#: columnar chunk: (pcs, addresses, blocks, gap1s, issue_incs, writes)
+ChunkColumns = Tuple[List[int], List[int], List[int], List[int], List[float], List[bool]]
+
+
+def batch_mix_hash(values: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over a uint64 array (matches ``mix_hash``).
+
+    Valid for inputs already reduced to 64 bits — exactly the domain
+    the scalar helper sees from block addresses, keys, and feature
+    values XOR'd with the sub-table constants.
+    """
+    v = values.astype(_U64, copy=True)
+    v ^= v >> _U64(30)
+    v *= _U64(0xBF58476D1CE4E5B9)
+    v ^= v >> _U64(27)
+    v *= _U64(0x94D049BB133111EB)
+    v ^= v >> _U64(31)
+    return v
+
+
+def decode_chunk(
+    chunk: Sequence, width: float
+) -> Optional[ChunkColumns]:
+    """Columnar decode of one trace chunk for the batched run loop.
+
+    Returns plain Python lists (the inner loop indexes them like the
+    record objects it replaces).  Falls back to ``None`` when a column
+    does not fit in int64 (pathological address offsets) — the caller
+    then walks the records scalar-style.
+    """
+    try:
+        gaps = np.array([r.gap for r in chunk], dtype=np.int64)
+        addresses = np.array([r.address for r in chunk], dtype=np.int64)
+    except OverflowError:
+        return None
+    gap1 = gaps + 1
+    pcs = [r.pc for r in chunk]
+    writes = [r.is_write for r in chunk]
+    return (
+        pcs,
+        addresses.tolist(),
+        (addresses >> BLOCK_BITS).tolist(),
+        gap1.tolist(),
+        (gap1.astype(np.float64) / width).tolist(),
+        writes,
+    )

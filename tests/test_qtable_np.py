@@ -1,0 +1,190 @@
+"""Scalar vs. numpy Q-table equivalence (backends must be bit-identical).
+
+The numpy backend (:mod:`repro.core.qtable_np`) is a drop-in for the
+scalar reference; DESIGN.md §9 argues why the fixed-point grid makes
+them exact.  These tests *check* that argument: interleaved per-op
+streams, batch kernels vs. scalar sequences, and persistence round
+trips must all agree to the last bit.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HIT_ACTIONS, MISS_ACTIONS, NUM_ACTIONS, ChromeConfig
+from repro.core.qtable import QTable
+from repro.core.qtable_np import QTableNumpy
+
+
+def _pair():
+    config = ChromeConfig()
+    return QTable(2, config), QTableNumpy(2, config)
+
+
+def _tables_equal(scalar: QTable, vectorized: QTableNumpy) -> bool:
+    return scalar.state_dict()["tables"] == vectorized.state_dict()["tables"]
+
+
+# --- interleaved per-op equivalence (hypothesis, derandomized) ----------------
+
+_state = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+_op = st.one_of(
+    st.tuples(st.just("delta"), _state, st.integers(0, NUM_ACTIONS - 1),
+              st.floats(-8.0, 8.0, allow_nan=False)),
+    st.tuples(st.just("best"), _state,
+              st.sampled_from([MISS_ACTIONS, HIT_ACTIONS, (2,), (0, 3)])),
+    st.tuples(st.just("q"), _state, st.integers(0, NUM_ACTIONS - 1)),
+)
+
+
+@given(st.lists(_op, min_size=1, max_size=120))
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_interleaved_ops_bit_identical(ops):
+    scalar, vectorized = _pair()
+    for op in ops:
+        if op[0] == "delta":
+            _, state, action, delta = op
+            scalar.apply_delta(state, action, delta)
+            vectorized.apply_delta(state, action, delta)
+        elif op[0] == "best":
+            _, state, legal = op
+            assert scalar.best_action(state, legal) == vectorized.best_action(
+                state, legal
+            )
+        else:
+            _, state, action = op
+            assert scalar.q(state, action) == vectorized.q(state, action)
+            assert scalar.q_values(state) == vectorized.q_values(state)
+    assert _tables_equal(scalar, vectorized)
+    assert scalar.lookups == vectorized.lookups
+    assert scalar.updates == vectorized.updates
+
+
+@given(
+    st.lists(st.tuples(_state, st.integers(0, NUM_ACTIONS - 1),
+                       st.floats(-4.0, 4.0, allow_nan=False)),
+             min_size=1, max_size=200),
+)
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_batch_kernels_match_scalar_sequence(records):
+    """apply_deltas/best_actions == the scalar per-record loop, even with
+    colliding states (hypothesis happily generates duplicates)."""
+    scalar, vectorized = _pair()
+    states = [r[0] for r in records]
+    actions = [r[1] for r in records]
+    deltas = [r[2] for r in records]
+    for state, action, delta in zip(states, actions, deltas):
+        scalar.apply_delta(state, action, delta)
+    vectorized.apply_deltas(states, actions, deltas)
+    assert _tables_equal(scalar, vectorized)
+    assert vectorized.best_actions(states, MISS_ACTIONS) == [
+        scalar.best_action(s, MISS_ACTIONS) for s in states
+    ]
+
+
+def test_batch_kernels_accept_readonly_arrays():
+    """The array fast path (and its row memo) equals the tuple path."""
+    scalar, vectorized = _pair()
+    states = [((i * 37) & 0xFFFF, (i * 101) & 0x3FFF) for i in range(256)]
+    states += states[:64]  # forced collisions -> multi-pass apply_deltas
+    actions = [i & 3 for i in range(len(states))]
+    deltas = [0.0625 * ((i % 9) - 4) for i in range(len(states))]
+    arr = np.asarray(states, dtype=np.uint64)
+    arr.flags.writeable = False
+    for _ in range(3):  # repeated sweeps exercise the row-index memo
+        for state, action, delta in zip(states, actions, deltas):
+            scalar.apply_delta(state, action, delta)
+        vectorized.apply_deltas(arr, actions, deltas)
+        assert vectorized.best_actions(arr, MISS_ACTIONS) == [
+            scalar.best_action(s, MISS_ACTIONS) for s in states
+        ]
+    assert _tables_equal(scalar, vectorized)
+
+
+def test_batch_tie_break_prefers_first_legal_action():
+    _, vectorized = _pair()
+    # Fresh table: every action ties, so every decision must be the
+    # first legal action (the scalar loop's preference).
+    states = [(i, i + 7) for i in range(32)]
+    assert vectorized.best_actions(states, (2, 0, 3)) == [2] * 32
+
+
+def test_oversized_state_falls_back_to_scalar_path():
+    scalar, vectorized = _pair()
+    states = [(2**70, 5), (3, 4)]  # first value does not fit uint64
+    actions = [1, 2]
+    deltas = [0.5, -0.25]
+    for state, action, delta in zip(states, actions, deltas):
+        scalar.apply_delta(state, action, delta)
+    vectorized.apply_deltas(states, actions, deltas)
+    assert _tables_equal(scalar, vectorized)
+    assert vectorized.best_actions(states, MISS_ACTIONS) == [
+        scalar.best_action(s, MISS_ACTIONS) for s in states
+    ]
+
+
+# --- persistence round trips ---------------------------------------------------
+
+
+def _trained_scalar() -> QTable:
+    scalar = QTable(2, ChromeConfig())
+    for i in range(500):
+        scalar.apply_delta(((i * 13) & 0xFFF, (i * 7) & 0xFFF), i & 3,
+                           0.0625 * ((i % 11) - 5))
+    return scalar
+
+
+def test_persistence_round_trip_scalar_numpy_scalar():
+    """scalar -> JSON -> numpy -> JSON -> scalar: bit-identical."""
+    scalar = _trained_scalar()
+    blob1 = json.dumps(scalar.state_dict(), sort_keys=True)
+
+    vectorized = QTableNumpy(2, ChromeConfig())
+    vectorized.load_state_dict(json.loads(blob1))
+    blob2 = json.dumps(vectorized.state_dict(), sort_keys=True)
+    assert blob2 == blob1
+
+    restored = QTable(2, ChromeConfig())
+    restored.load_state_dict(json.loads(blob2))
+    assert json.dumps(restored.state_dict(), sort_keys=True) == blob1
+    # and the restored tables behave identically
+    probe = [(9, 9), (1234, 77), (0xFFF, 0xFFF)]
+    for state in probe:
+        assert restored.q_values(state) == vectorized.q_values(state)
+
+
+def test_numpy_load_rejects_off_grid_values():
+    scalar = _trained_scalar()
+    state = scalar.state_dict()
+    state["tables"][0][0][0][0] = 0.01  # not a multiple of 2^-6
+    vectorized = QTableNumpy(2, ChromeConfig())
+    with pytest.raises(ValueError, match="fixed-point grid"):
+        vectorized.load_state_dict(state)
+
+
+def test_numpy_load_rejects_geometry_mismatch():
+    vectorized = QTableNumpy(2, ChromeConfig())
+    state = QTable(2, ChromeConfig()).state_dict()
+    state["num_subtables"] += 1
+    with pytest.raises(ValueError, match="geometry mismatch"):
+        vectorized.load_state_dict(state)
+
+
+# --- introspection parity ------------------------------------------------------
+
+
+def test_stats_and_storage_parity():
+    scalar, vectorized = _pair()
+    for i in range(200):
+        state = ((i * 31) & 0x7FF, (i * 17) & 0x7FF)
+        scalar.apply_delta(state, i & 3, 0.25)
+        vectorized.apply_delta(state, i & 3, 0.25)
+    assert vectorized.storage_bits() == scalar.storage_bits()
+    assert vectorized.health_stats() == scalar.health_stats()
+    assert vectorized.snapshot_stats() == scalar.snapshot_stats()
