@@ -134,18 +134,89 @@ def _build_parser() -> argparse.ArgumentParser:
         "--kill-shard", type=int, default=-1, metavar="I",
         help="kill shard I for the middle quarter of the run",
     )
-    cluster.add_argument(
-        "--obs-dir", default=None, metavar="DIR",
-        help="record repro.obs telemetry into DIR",
+    _add_obs_backend_args(cluster)
+
+    ops = sub.add_parser(
+        "ops",
+        help="run one service/fleet under the live-operations control loop",
     )
-    cluster.add_argument(
+    ops.add_argument(
+        "--policy", default="chrome", help="champion serve policy"
+    )
+    ops.add_argument(
+        "--workload", default="phases", help="request workload"
+    )
+    ops.add_argument(
+        "--requests", type=int, default=20000, help="measured requests"
+    )
+    ops.add_argument(
+        "--warmup", type=int, default=4000, help="warmup requests"
+    )
+    ops.add_argument(
+        "--capacity-mb", type=int, default=4, help="cache capacity (MiB)"
+    )
+    ops.add_argument(
+        "--clients", type=int, default=8, help="concurrent driver clients"
+    )
+    ops.add_argument(
+        "--seed", type=int, default=0, help="workload/agent seed"
+    )
+    ops.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="cluster fleet of N shards (0 = single service)",
+    )
+    ops.add_argument(
+        "--window", type=int, default=0, metavar="N",
+        help="ops evaluation window in requests (default: run/16)",
+    )
+    ops.add_argument(
+        "--challenger", default="", metavar="POLICY",
+        help="shadow-evaluate POLICY against the champion's traffic",
+    )
+    ops.add_argument(
+        "--promote-after", type=int, default=0, metavar="N",
+        help="hot-swap the challenger in after N winning windows (0 = never)",
+    )
+    ops.add_argument(
+        "--min-byte-hit", type=float, default=-1.0, metavar="R",
+        help="guardrail: trip when the byte-hit EWMA falls below R",
+    )
+    ops.add_argument(
+        "--max-p99", type=float, default=0.0, metavar="MS",
+        help="guardrail: trip when a window's p99 exceeds MS virtual ms",
+    )
+    ops.add_argument(
+        "--snapshot-every", type=int, default=4, metavar="N",
+        help="push a last-known-good snapshot every N healthy windows",
+    )
+    ops.add_argument(
+        "--degrade-at", type=int, default=-1, metavar="W",
+        help="inject a simulated bad deploy at the end of window W",
+    )
+    _add_obs_backend_args(ops)
+    return parser
+
+
+def _add_obs_backend_args(sub: argparse.ArgumentParser) -> None:
+    """The telemetry/backend flags every run-style subcommand shares."""
+    sub.add_argument(
+        "--obs",
+        action="store_true",
+        help="record repro.obs telemetry (timelines, Chrome traces, counters)",
+    )
+    sub.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact directory for --obs (default obs-artifacts; implies --obs)",
+    )
+    sub.add_argument(
         "--backend",
         default=None,
         choices=["scalar", "numpy"],
         help="Q-table execution backend (bit-identical results; numpy "
         "vectorizes batch sweeps — see DESIGN.md §9)",
     )
-    return parser
 
 
 def _apply_backend(backend: Optional[str]) -> None:
@@ -163,21 +234,32 @@ def _apply_backend(backend: Optional[str]) -> None:
         os.environ["REPRO_BACKEND"] = resolve_backend(backend)
 
 
-def _run_cluster_command(args: argparse.Namespace) -> int:
+def _obs_config_from_args(args: argparse.Namespace):
+    """ObsConfig when --obs/--obs-dir requested, else None (all subcommands)."""
+    if not (getattr(args, "obs", False) or args.obs_dir is not None):
+        return None
+    from .obs import ObsConfig
+
+    return ObsConfig(out_dir=args.obs_dir or "obs-artifacts")
+
+
+def _cluster_job_from_args(args: argparse.Namespace):
+    """Build the ClusterJob the ``cluster`` subcommand describes.
+
+    Split from the command so tests can assert that every CLI flag
+    lands in the frozen job spec; raises ValueError on bad arguments.
+    """
     from .cluster import ClusterJob
 
     if args.shards < 1 or args.replication < 1:
-        print("error: --shards/--replication must be >= 1", file=sys.stderr)
-        return 2
+        raise ValueError("--shards/--replication must be >= 1")
     kill_fault_params = ()
     if args.kill_shard >= 0:
         if args.kill_shard >= args.shards:
-            print(
-                f"error: --kill-shard {args.kill_shard} out of range "
-                f"(fleet has {args.shards} shards)",
-                file=sys.stderr,
+            raise ValueError(
+                f"--kill-shard {args.kill_shard} out of range "
+                f"(fleet has {args.shards} shards)"
             )
-            return 2
         # One outage window sized to ~25% of the virtual horizon (0.5 ms
         # inter-arrival), jitter-placed inside the run.
         horizon_ms = (args.requests + args.warmup) * 0.5
@@ -186,7 +268,7 @@ def _run_cluster_command(args: argparse.Namespace) -> int:
             ("outage_every_ms", round(horizon_ms, 3)),
             ("outage_duration_ms", round(horizon_ms / 4.0, 3)),
         )
-    job = ClusterJob(
+    return ClusterJob(
         workload=args.workload,
         policy=args.policy,
         num_requests=args.requests,
@@ -202,11 +284,15 @@ def _run_cluster_command(args: argparse.Namespace) -> int:
         kill_shard=args.kill_shard if kill_fault_params else -1,
         kill_fault_params=kill_fault_params,
     )
-    obs_config = None
-    if args.obs_dir is not None:
-        from .obs import ObsConfig
 
-        obs_config = ObsConfig(out_dir=args.obs_dir)
+
+def _run_cluster_command(args: argparse.Namespace) -> int:
+    try:
+        job = _cluster_job_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    obs_config = _obs_config_from_args(args)
     start = time.time()
     metrics = job.execute(obs=obs_config)
     fleet = metrics.fleet
@@ -240,6 +326,90 @@ def _run_cluster_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ops_job_from_args(args: argparse.Namespace):
+    """Build the OpsJob the ``ops`` subcommand describes."""
+    from .ops import OpsConfig
+    from .ops.jobs import OpsJob
+
+    if args.shards < 0:
+        raise ValueError("--shards must be >= 0")
+    window = args.window or max(50, (args.requests + args.warmup) // 16)
+    ops_config = OpsConfig(
+        window=window,
+        challenger_policy=args.challenger,
+        promote_after=args.promote_after,
+        max_p99_ms=args.max_p99,
+        min_byte_hit_ewma=args.min_byte_hit,
+        snapshot_every=args.snapshot_every,
+        degrade_at_window=args.degrade_at,
+    )
+    return OpsJob(
+        workload=args.workload,
+        policy=args.policy,
+        num_requests=args.requests,
+        warmup_requests=args.warmup,
+        capacity_bytes=args.capacity_mb << 20,
+        num_segments=64,
+        num_clients=args.clients,
+        seed=args.seed,
+        ops_params=ops_config.params(),
+        num_shards=args.shards,
+    )
+
+
+def _run_ops_command(args: argparse.Namespace) -> int:
+    try:
+        job = _ops_job_from_args(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    obs_config = _obs_config_from_args(args)
+    start = time.time()
+    result = job.execute(obs=obs_config)
+    champion = result.champion
+    fleet = champion.fleet if job.num_shards else champion
+    tier = f"{job.num_shards}-shard fleet" if job.num_shards else "service"
+    print(f"ops: {job.policy} {tier} on {job.workload}")
+    print(
+        f"  champion: requests {fleet.requests}  object_hit "
+        f"{100.0 * fleet.object_hit_ratio:.2f}%  byte_hit "
+        f"{100.0 * fleet.byte_hit_ratio:.2f}%  p99 "
+        f"{fleet.p99_latency_ms:.2f}ms"
+    )
+    if result.challenger is not None:
+        ch = result.challenger
+        print(
+            f"  challenger ({ch.policy}, shadow): object_hit "
+            f"{100.0 * ch.object_hit_ratio:.2f}%  byte_hit "
+            f"{100.0 * ch.byte_hit_ratio:.2f}%  p99 "
+            f"{ch.p99_latency_ms:.2f}ms"
+        )
+    print(
+        f"  ops: {len(result.windows)} windows  snapshots "
+        f"{result.snapshots}  promotions {result.promotions}  trips "
+        f"{result.trips}  rollbacks {result.rollbacks}  degradations "
+        f"{result.degradations}"
+    )
+    for event in result.events:
+        extra = {
+            k: v
+            for k, v in event.items()
+            if k not in ("version", "kind", "window", "seq", "now_ms")
+        }
+        print(
+            f"  event: {event['kind']} @ window {event['window']} "
+            f"(seq {event['seq']}, {event['now_ms']:.1f}ms) {extra}"
+        )
+    print(f"[ops run took {time.time() - start:.1f}s]")
+    if obs_config is not None:
+        print(
+            f"[obs artifacts in {obs_config.out_dir}; summarize with "
+            f"`chrome-repro obs-report {obs_config.out_dir}`]",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
     return ExperimentScale.from_env().with_overrides(
         machine_scale=args.scale,
@@ -255,6 +425,8 @@ def _run_cli(argv: Optional[List[str]] = None) -> int:
     _apply_backend(getattr(args, "backend", None))
     if args.command == "cluster":
         return _run_cluster_command(args)
+    if args.command == "ops":
+        return _run_ops_command(args)
     if args.command == "obs-report":
         from .obs.report import render as render_obs, summarize
 

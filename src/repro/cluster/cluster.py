@@ -178,6 +178,9 @@ class ClusterService:
         self.federations = 0
         self.hot_splits = 0
         self._measuring = config.warmup_requests == 0
+        # Live-operations tap (repro.ops): same per-request seam the
+        # single service exposes — None by default, one attribute test.
+        self._ops_tap = None
         self._fleet_requests = 0
         self._fleet_hits = 0
         self._fleet_bytes = 0
@@ -247,6 +250,8 @@ class ClusterService:
         pref = self.ring.preference(req.key, live=live)
         if not pref:
             self.unroutable += 1
+            if self._ops_tap is not None:
+                self._ops_tap(seq, req)
             return False
         if hotkeys is not None and len(pref) > 1 and hotkeys.is_hot(req.key):
             # Split the hot key: rotate over its live replica set by
@@ -288,7 +293,70 @@ class ClusterService:
                     )
         if self._obs is not None and seq == self._obs_next:
             self._obs_sample(seq, now_ms, live)
+        if self._ops_tap is not None:
+            self._ops_tap(seq, req)
         return hit
+
+    # --- live-operations seams (repro.ops) ------------------------------------------
+
+    def attach_ops_tap(self, tap) -> None:
+        """Install the per-request ops callback (``tap(seq, req)``).
+
+        Fires inside the sequenced section after the fleet has fully
+        processed the request — including unroutable drops, so window
+        boundaries land at the same global sequence numbers whether or
+        not shards are down.
+        """
+        self._ops_tap = tap
+
+    def signal_recorders(self) -> List[MetricsRecorder]:
+        """All shard recorders; the SignalReader sums windows fleet-wide."""
+        return list(self.recorders)
+
+    def agent_states(self) -> List[dict]:
+        """Snapshot every shard agent (index order) for the ops ring."""
+        if not self._agents:
+            raise ValueError(
+                f"policy {self.config.policy!r} has no learning agents; "
+                "ops hot-swap/rollback require a learned (chrome) fleet"
+            )
+        from ..core.persistence import agent_state
+
+        return [agent_state(a, kind="serve-agent") for a in self._agents]
+
+    def load_agent_states(self, states: List[dict], *, keep_rng: bool = False) -> None:
+        """Swap learned state into the fleet at an epoch boundary.
+
+        ``len(states) == num_shards`` restores shard-for-shard (the
+        rollback path: every shard returns to its own last-known-good
+        table).  ``len(states) == 1`` broadcasts one state to every
+        shard (the promotion path: a single challenger table deploys
+        fleet-wide).  ``keep_rng`` follows the single-service contract
+        — promotion keeps each shard's own RNG stream and counters,
+        rollback restores everything.
+        """
+        if not self._agents:
+            raise ValueError(
+                f"policy {self.config.policy!r} has no learning agents; "
+                "ops hot-swap/rollback require a learned (chrome) fleet"
+            )
+        if len(states) == 1 and self.num_shards > 1:
+            states = states * self.num_shards
+        if len(states) != self.num_shards:
+            raise ValueError(
+                f"expected 1 or {self.num_shards} agent states, got {len(states)}"
+            )
+        from ..core.persistence import load_agent_state
+
+        for agent, state in zip(self._agents, states):
+            if keep_rng:
+                qtable = dict(state["qtable"])
+                qtable["lookups"] = agent.qtable.lookups
+                qtable["updates"] = agent.qtable.updates
+                state = dict(state)
+                state["qtable"] = qtable
+                state["rng_state"] = None
+            load_agent_state(agent, state, kind="serve-agent")
 
     # --- observability --------------------------------------------------------------
 

@@ -62,6 +62,51 @@ def agent_state(agent, kind: str) -> Dict[str, Any]:
     }
 
 
+def _iter_leaves(values):
+    """Yield every scalar leaf of an arbitrarily nested list."""
+    for value in values:
+        if isinstance(value, list):
+            yield from _iter_leaves(value)
+        else:
+            yield value
+
+
+def _validate_qtable_grid(agent, qtable_state: Dict[str, Any]) -> None:
+    """Refuse snapshots whose values fall off the live fixed-point grid.
+
+    The config fingerprint pins the grid's *parameters*, but a snapshot
+    produced by a different build (or corrupted in transit) can still
+    carry values that are not representable on this config's
+    ``quantum``-spaced, ``q_value_bits``-clamped lattice.  The scalar
+    :class:`~repro.core.qtable.QTable` would load them silently and
+    then drift — every subsequent update rounds *deltas*, not totals,
+    so an off-grid table never converges back onto the lattice and the
+    scalar/numpy backends stop agreeing.  Rejecting here turns that
+    silent corruption into an immediate, explicit error (the numpy
+    backend already enforces this inside ``load_state_dict``; this
+    check makes the contract backend-independent).
+    """
+    config = agent.config
+    quantum = 1.0 / (1 << config.q_fixed_point_fraction_bits)
+    limit = (1 << (config.q_value_bits - 1)) * quantum
+    lo, hi = -limit, limit - quantum
+    for value in _iter_leaves(qtable_state.get("tables", [])):
+        tick = round(value / quantum)
+        if tick * quantum != value:
+            raise ValueError(
+                f"snapshot Q-value {value!r} is off the live fixed-point "
+                f"grid (quantum={quantum!r}); refusing to load — the "
+                "snapshot was produced under a different "
+                "q_fixed_point_fraction_bits or is corrupt"
+            )
+        if value < lo or value > hi:
+            raise ValueError(
+                f"snapshot Q-value {value!r} exceeds the live clamp "
+                f"[{lo!r}, {hi!r}] (q_value_bits={config.q_value_bits}); "
+                "refusing to load"
+            )
+
+
 def load_agent_state(agent, state: Dict[str, Any], kind: str) -> None:
     """Restore a snapshot into a live agent (geometry-checked)."""
     if state.get("version") != SNAPSHOT_VERSION:
@@ -82,6 +127,7 @@ def load_agent_state(agent, state: Dict[str, Any], kind: str) -> None:
     }
     if mismatched:
         raise ValueError(f"agent config mismatch on restore: {mismatched}")
+    _validate_qtable_grid(agent, state["qtable"])
     agent.qtable.load_state_dict(state["qtable"])
     rng_state = state.get("rng_state")
     if rng_state is not None:

@@ -19,7 +19,11 @@ gives all of them one substrate:
   :class:`~repro.obs.session.ObsConfig` is the picklable spec that
   crosses worker-process boundaries;
 * :mod:`~repro.obs.report` — the ``obs-report`` summarizer that turns
-  an artifact directory back into answers.
+  an artifact directory back into answers;
+* :mod:`~repro.obs.signals` — windowed :class:`~repro.obs.signals.SignalReader`
+  over live serve recorders: the same measurements consumed as *control
+  inputs* (byte-hit, window p99, error/shed/breaker fractions) by the
+  :mod:`repro.ops` guardrail/shadow layer.
 
 **Zero-overhead-when-off contract:** observability is strictly opt-in.
 Instrumented call sites hold an ``Optional[ObsSession]`` that is
@@ -32,6 +36,7 @@ reproduce byte-for-byte and the perf smoke stays inside its tolerance;
 
 from .registry import Counter, Gauge, Histogram, NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM, Registry
 from .session import ObsConfig, ObsSession
+from .signals import SignalReader, WindowSignals
 from .timeline import TimelineRecorder
 from .tracer import SpanTracer
 
@@ -45,6 +50,8 @@ __all__ = [
     "Registry",
     "ObsConfig",
     "ObsSession",
+    "SignalReader",
     "TimelineRecorder",
     "SpanTracer",
+    "WindowSignals",
 ]

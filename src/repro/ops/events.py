@@ -1,0 +1,86 @@
+"""The versioned ops event log: every control-plane transition, recorded.
+
+A live-operations decision that is not written down did not happen — an
+operator debugging "why did the fleet roll back at 3am" needs the exact
+sequence of snapshot / promote / trip / rollback transitions, each tied
+to the virtual time and global sequence number it fired at.
+:class:`OpsEventLog` is that record: an append-only list of
+:class:`OpsEvent` rows, version-tagged so persisted logs (obs timeline
+exports, golden files) stay readable across ops-layer revisions.
+
+Because every event fires at a window boundary — a fixed global
+sequence number — the log is bit-identical at any client count and
+across process boundaries; the ``ops_determinism`` golden pins whole
+logs, not just final counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: bump when the event row shape changes incompatibly
+OPS_EVENT_VERSION = 1
+
+#: the transition kinds the controller emits
+EVENT_SNAPSHOT = "snapshot"
+EVENT_PROMOTE = "promote"
+EVENT_TRIP = "trip"
+EVENT_ROLLBACK = "rollback"
+EVENT_DEGRADE = "degrade"
+
+
+@dataclass(frozen=True)
+class OpsEvent:
+    """One control-plane transition at one window boundary."""
+
+    kind: str
+    #: absolute evaluation-window index (counts from run start)
+    window: int
+    #: the boundary's global sequence number (last request of the window)
+    seq: int
+    #: virtual time of the boundary in ms
+    now_ms: float
+    #: event-specific literals (reasons, streaks, snapshot ids, ...)
+    details: Tuple[Tuple[str, object], ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "version": OPS_EVENT_VERSION,
+            "kind": self.kind,
+            "window": self.window,
+            "seq": self.seq,
+            "now_ms": self.now_ms,
+        }
+        row.update(self.details)
+        return row
+
+
+@dataclass
+class OpsEventLog:
+    """Append-only transition record for one run."""
+
+    events: List[OpsEvent] = field(default_factory=list)
+
+    def append(
+        self, kind: str, window: int, seq: int, now_ms: float, **details
+    ) -> OpsEvent:
+        event = OpsEvent(
+            kind=kind,
+            window=window,
+            seq=seq,
+            now_ms=now_ms,
+            details=tuple(sorted(details.items())),
+        )
+        self.events.append(event)
+        return event
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """JSON-ready rows (golden files, obs timeline, CLI output)."""
+        return [e.to_dict() for e in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,152 @@
+"""The guardrail: obs signals in, trip/healthy verdicts out.
+
+A :class:`Guardrail` consumes one :class:`~repro.obs.signals.WindowSignals`
+per evaluation window and decides two things:
+
+* **suspect** — did *this* window breach any raw threshold?  Suspect
+  windows never push last-known-good snapshots, so a degraded state is
+  never captured as the thing rollback would restore.
+* **tripped** — have ``trip_after`` consecutive windows breached while
+  the guardrail is armed?  Tripping is what triggers the rollback.
+
+Byte-hit is smoothed with an EWMA before the trip comparison (one noisy
+window should not revert a healthy fleet) while p99 and the
+error/shed/breaker fractions compare raw — a latency or error explosion
+is exactly the thing that must not be averaged away.  The guardrail
+arms only after ``warmup_windows`` measured windows (letting the EWMA
+settle past cold-start noise) and holds fire for ``cooldown_windows``
+after a rollback (giving the restored state time to re-warm before it
+can be judged again).
+
+Everything here is a pure function of the signal sequence: no clocks,
+no randomness — the same run trips at the same window every time, at
+any client count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..obs.signals import WindowSignals
+from .config import OpsConfig
+
+
+@dataclass
+class GuardrailVerdict:
+    """What the guardrail concluded about one window."""
+
+    #: raw breach descriptions for this window ((signal, value, threshold))
+    breaches: Tuple[Tuple[str, float, float], ...] = ()
+    #: this window breached raw thresholds (blocks snapshot pushes)
+    suspect: bool = False
+    #: the consecutive-breach streak crossed ``trip_after`` while armed
+    tripped: bool = False
+    #: byte-hit EWMA after folding in this window (None before first sample)
+    byte_hit_ewma: Optional[float] = None
+    #: consecutive breaching windows so far
+    streak: int = 0
+    #: guardrail was armed when this window was judged
+    armed: bool = False
+
+
+class Guardrail:
+    """Threshold watcher over windowed obs signals."""
+
+    def __init__(self, config: OpsConfig) -> None:
+        self.config = config
+        self._ewma: Optional[float] = None
+        self._streak = 0
+        self._windows_seen = 0
+        self._cooldown = 0
+        #: total trips over the run (telemetry)
+        self.trips = 0
+
+    @property
+    def byte_hit_ewma(self) -> Optional[float]:
+        return self._ewma
+
+    def observe(self, signals: WindowSignals) -> GuardrailVerdict:
+        """Judge one completed window.  Empty windows are skipped."""
+        cfg = self.config
+        if signals.requests == 0:
+            # nothing measured: no EWMA update, no streak movement
+            return GuardrailVerdict(
+                byte_hit_ewma=self._ewma, streak=self._streak
+            )
+        self._windows_seen += 1
+        sample = signals.byte_hit
+        if self._ewma is None:
+            self._ewma = sample
+        else:
+            beta = cfg.ewma_beta
+            self._ewma = (1.0 - beta) * self._ewma + beta * sample
+
+        breaches: List[Tuple[str, float, float]] = []
+        raw_breach = False
+        if cfg.max_p99_ms > 0.0 and signals.p99_ms > cfg.max_p99_ms:
+            breaches.append(("p99_ms", signals.p99_ms, cfg.max_p99_ms))
+        if cfg.min_byte_hit_ewma >= 0.0:
+            if self._ewma < cfg.min_byte_hit_ewma:
+                breaches.append(
+                    ("byte_hit_ewma", self._ewma, cfg.min_byte_hit_ewma)
+                )
+            # The *raw* window byte-hit marks this window suspect even
+            # while the EWMA is still coasting on healthy history —
+            # otherwise the first post-degradation windows would push
+            # poisoned snapshots into the last-known-good ring and
+            # rollback would restore the very state it fled.
+            if sample < cfg.min_byte_hit_ewma:
+                raw_breach = True
+        if (
+            cfg.max_error_fraction < 1.0
+            and signals.error_fraction > cfg.max_error_fraction
+        ):
+            breaches.append(
+                ("error_fraction", signals.error_fraction, cfg.max_error_fraction)
+            )
+        if (
+            cfg.max_shed_fraction < 1.0
+            and signals.shed_fraction > cfg.max_shed_fraction
+        ):
+            breaches.append(
+                ("shed_fraction", signals.shed_fraction, cfg.max_shed_fraction)
+            )
+        if (
+            cfg.max_breaker_denied_fraction < 1.0
+            and signals.breaker_denied_fraction > cfg.max_breaker_denied_fraction
+        ):
+            breaches.append(
+                (
+                    "breaker_denied_fraction",
+                    signals.breaker_denied_fraction,
+                    cfg.max_breaker_denied_fraction,
+                )
+            )
+
+        suspect = bool(breaches) or raw_breach
+        if breaches:
+            self._streak += 1
+        else:
+            self._streak = 0
+
+        armed = self._windows_seen > cfg.warmup_windows and self._cooldown == 0
+        if self._cooldown:
+            self._cooldown -= 1
+        tripped = armed and suspect and self._streak >= cfg.trip_after
+        if tripped:
+            self.trips += 1
+        return GuardrailVerdict(
+            breaches=tuple(breaches),
+            suspect=suspect,
+            tripped=tripped,
+            byte_hit_ewma=self._ewma,
+            streak=self._streak,
+            armed=armed,
+        )
+
+    def reset_after_rollback(self) -> None:
+        """Restored state gets a fresh EWMA and a cooldown grace period."""
+        self._streak = 0
+        self._ewma = None
+        self._cooldown = self.config.cooldown_windows

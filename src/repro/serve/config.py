@@ -181,3 +181,30 @@ class ServiceConfig:
                 faults, seed=mix_hash((faults.seed << 20) ^ (shard_idx * 0x85EB) ^ 0xC2)
             )
         return replace(self, seed=derived_seed, faults=faults)
+
+    def for_challenger(
+        self,
+        policy: Optional[str] = None,
+        policy_params: Optional[Params] = None,
+    ) -> "ServiceConfig":
+        """The shadow-challenger variant of this config (ops layer).
+
+        A challenger mirrors the champion's geometry and latency model
+        but runs its own policy (or the same policy under a fresh seed
+        when ``policy`` is omitted) against its own isolated store.  It
+        never sees injected faults or resilience machinery — shadow
+        evaluation compares *cache policies*, and the champion's fault
+        stream must not leak into the challenger's reward signal.  The
+        derived seed is a pure function of the champion seed, so shadow
+        runs rebuild identically in any process.
+        """
+        return replace(
+            self,
+            policy=policy if policy is not None else self.policy,
+            policy_params=(
+                policy_params if policy_params is not None else self.policy_params
+            ),
+            seed=mix_hash((self.seed << 24) ^ 0xC7A11E),
+            faults=None,
+            resilience=None,
+        )

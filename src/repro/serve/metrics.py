@@ -268,11 +268,20 @@ class MetricsRecorder:
             self.metrics.evictions += 1
             self.metrics.evicted_bytes += size
 
-    def latency_samples(self) -> List[float]:
+    def latency_samples(self, start: int = 0) -> List[float]:
         """Raw per-request latencies (arrival order) — fleet aggregation
         re-sorts the union so cluster percentiles are exact, not
-        approximations stitched from per-shard percentiles."""
+        approximations stitched from per-shard percentiles.  ``start``
+        skips already-consumed samples, so windowed readers
+        (:class:`repro.obs.signals.SignalReader`) slice instead of
+        copying the full history every window."""
+        if start:
+            return self._latencies[start:]
         return list(self._latencies)
+
+    def latency_count(self) -> int:
+        """Number of latency samples recorded so far (windowing cursor)."""
+        return len(self._latencies)
 
     def degraded_latency_samples(self) -> List[float]:
         """Raw degraded-mode latencies (arrival order)."""

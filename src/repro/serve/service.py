@@ -165,6 +165,11 @@ class CacheService:
         bind = getattr(store.policy, "bind_obstruction", None)
         if callable(bind):
             bind(self.monitor)
+        # Live-operations tap (repro.ops): called once per request,
+        # inside the sequenced section, after this service has fully
+        # processed it.  None by default — same zero-overhead-when-off
+        # contract as obs (one attribute test per request).
+        self._ops_tap = None
         # Observability: one attribute test per request when disabled
         # (the zero-overhead-when-off contract of repro.obs).
         self._obs = obs
@@ -181,7 +186,10 @@ class CacheService:
         if self._obs is not None and seq == self._obs_next:
             self._obs_sample(seq)
         if self.resilience is not None:
-            return self._process_resilient(seq, req)
+            hit = self._process_resilient(seq, req)
+            if self._ops_tap is not None:
+                self._ops_tap(seq, req)
+            return hit
         recorder = self.recorder
         if recorder is not None and seq == self.warmup_requests:
             recorder.set_measuring(True)
@@ -196,6 +204,8 @@ class CacheService:
             self.store.admit(req)
         if recorder is not None:
             recorder.on_request(req.tenant, req.size, hit, latency, outstanding)
+        if self._ops_tap is not None:
+            self._ops_tap(seq, req)
         return hit
 
     def _process_resilient(self, seq: int, req: Request) -> bool:
@@ -321,6 +331,70 @@ class CacheService:
             if recorder is not None:
                 recorder.on_error(req.tenant, req.size, total)
         return False
+
+    # --- live-operations seams (repro.ops) ----------------------------------------
+
+    def attach_ops_tap(self, tap) -> None:
+        """Install the per-request ops callback (``tap(seq, req)``).
+
+        The tap fires inside the sequenced section after this service
+        has fully processed the request (both the plain and the
+        resilient path), so everything the ops controller does — shadow
+        duplication, window evaluation, agent swaps — is ordered by the
+        global sequence number and bit-identical at any client count.
+        """
+        self._ops_tap = tap
+
+    def signal_recorders(self) -> List[MetricsRecorder]:
+        """The recorders a :class:`~repro.obs.signals.SignalReader` watches."""
+        if self.recorder is None:
+            raise ValueError("service has no MetricsRecorder to read signals from")
+        return [self.recorder]
+
+    def _agent(self):
+        agent = getattr(self.store.policy, "agent", None)
+        if agent is None:
+            raise ValueError(
+                f"policy {self.store.policy.name!r} has no learning agent; "
+                "ops hot-swap/rollback require a learned (chrome) policy"
+            )
+        return agent
+
+    def agent_states(self) -> List[dict]:
+        """Snapshot the learned state (one entry: this service's agent)."""
+        from ..core.persistence import agent_state
+
+        return [agent_state(self._agent(), kind="serve-agent")]
+
+    def load_agent_states(self, states: List[dict], *, keep_rng: bool = False) -> None:
+        """Swap learned state into the live agent at an epoch boundary.
+
+        ``keep_rng=False`` (rollback) restores the snapshot completely —
+        Q-table, counters and exploration RNG — so the agent resumes
+        exactly as it was at the last known good boundary.
+        ``keep_rng=True`` (promotion / injection) swaps only the
+        Q-table values: the live agent keeps its own RNG stream and
+        lookup/update counters, the same discipline cluster federation
+        uses, so a mid-run swap never replays another agent's
+        exploration randomness.
+        """
+        if len(states) != 1:
+            raise ValueError(
+                f"expected exactly 1 agent state for a single service, "
+                f"got {len(states)}"
+            )
+        from ..core.persistence import load_agent_state
+
+        agent = self._agent()
+        state = states[0]
+        if keep_rng:
+            qtable = dict(state["qtable"])
+            qtable["lookups"] = agent.qtable.lookups
+            qtable["updates"] = agent.qtable.updates
+            state = dict(state)
+            state["qtable"] = qtable
+            state["rng_state"] = None
+        load_agent_state(agent, state, kind="serve-agent")
 
     # --- observability (opt-in; reads shared state, never mutates it) -------------
 

@@ -2,9 +2,10 @@
 
 The scalar backend is the golden reference; the numpy backend
 (DESIGN.md §9) is a pure throughput knob.  This module flips
-``REPRO_BACKEND=numpy`` and recomputes *all four* golden families from
+``REPRO_BACKEND=numpy`` and recomputes *all five* golden families from
 :mod:`tests.test_golden_determinism` — sim determinism, serve, chaos
-faults and the sharded cluster — and demands byte-identity with the
+faults, the sharded cluster and the ops control loop — and demands
+byte-identity with the
 committed golden files.  It also asserts the numpy backend actually
 engaged (a silent fallback to scalar would make the comparison
 vacuous), and pins down the backend-selection plumbing itself.
@@ -23,10 +24,12 @@ from repro.core.qtable_np import QTableNumpy
 from tests.test_golden_determinism import (
     CLUSTER_GOLDEN_PATH,
     GOLDEN_PATH,
+    OPS_GOLDEN_PATH,
     SERVE_FAULTS_GOLDEN_PATH,
     SERVE_GOLDEN_PATH,
     compute_cluster_golden,
     compute_golden,
+    compute_ops_golden,
     compute_serve_faults_golden,
     compute_serve_golden,
 )
@@ -62,6 +65,13 @@ def test_serve_faults_goldens_bit_identical_under_numpy(numpy_backend):
 
 def test_cluster_goldens_bit_identical_under_numpy(numpy_backend):
     assert compute_cluster_golden() == _golden(CLUSTER_GOLDEN_PATH)
+
+
+def test_ops_goldens_bit_identical_under_numpy(numpy_backend):
+    # Also exercises the vectorized federation fast path (the cluster
+    # case federates every 500 requests) and the numpy loader's grid
+    # checks on rollback restores.
+    assert compute_ops_golden() == _golden(OPS_GOLDEN_PATH)
 
 
 # --- backend selection plumbing ------------------------------------------------

@@ -75,3 +75,118 @@ def test_cli_flags_override_env(monkeypatch, capsys):
     args = _build_parser().parse_args(["run", "fig6", "--workloads", "2"])
     scale = _scale_from_args(args)
     assert scale.workload_limit == 2
+
+
+# --- cluster/ops flag plumbing (flags must land in the frozen job specs) ------
+
+
+def _parse(argv):
+    from repro.cli import _build_parser
+
+    return _build_parser().parse_args(argv)
+
+
+def test_cluster_flags_reach_cluster_job():
+    from repro.cli import _cluster_job_from_args
+
+    job = _cluster_job_from_args(
+        _parse(
+            [
+                "cluster", "--shards", "5", "--replication", "3",
+                "--policy", "lru", "--workload", "phases",
+                "--requests", "1234", "--warmup", "56",
+                "--capacity-mb", "8", "--clients", "3", "--seed", "9",
+                "--federate-every", "400", "--hotkey-window", "250",
+            ]
+        )
+    )
+    assert (job.num_shards, job.replication) == (5, 3)
+    assert (job.policy, job.workload) == ("lru", "phases")
+    assert (job.num_requests, job.warmup_requests) == (1234, 56)
+    assert job.capacity_bytes == 8 << 20
+    assert (job.num_clients, job.seed) == (3, 9)
+    assert (job.federate_every, job.hotkey_window) == (400, 250)
+    assert job.kill_shard == -1 and job.kill_fault_params == ()
+
+
+def test_cluster_kill_shard_validation():
+    from repro.cli import _cluster_job_from_args
+
+    with pytest.raises(ValueError, match="out of range"):
+        _cluster_job_from_args(_parse(["cluster", "--kill-shard", "7"]))
+    job = _cluster_job_from_args(
+        _parse(["cluster", "--shards", "4", "--kill-shard", "2"])
+    )
+    assert job.kill_shard == 2 and job.kill_fault_params
+    with pytest.raises(ValueError, match="shards"):
+        _cluster_job_from_args(_parse(["cluster", "--shards", "0"]))
+
+
+def test_ops_flags_reach_ops_job():
+    from repro.cli import _ops_job_from_args
+    from repro.ops import OpsConfig
+
+    job = _ops_job_from_args(
+        _parse(
+            [
+                "ops", "--policy", "chrome", "--workload", "phases",
+                "--requests", "3200", "--warmup", "200", "--capacity-mb", "2",
+                "--clients", "4", "--seed", "17", "--shards", "3",
+                "--window", "200", "--challenger", "lru",
+                "--promote-after", "2", "--min-byte-hit", "0.05",
+                "--max-p99", "9.5", "--snapshot-every", "2",
+                "--degrade-at", "6",
+            ]
+        )
+    )
+    assert (job.workload, job.policy) == ("phases", "chrome")
+    assert (job.num_requests, job.warmup_requests) == (3200, 200)
+    assert job.capacity_bytes == 2 << 20
+    assert (job.num_clients, job.seed, job.num_shards) == (4, 17, 3)
+    ops = OpsConfig.from_params(job.ops_params)
+    assert ops.window == 200
+    assert ops.challenger_policy == "lru" and ops.promote_after == 2
+    assert ops.min_byte_hit_ewma == 0.05 and ops.max_p99_ms == 9.5
+    assert ops.snapshot_every == 2 and ops.degrade_at_window == 6
+
+
+def test_ops_window_defaults_to_sixteenth_of_run():
+    from repro.cli import _ops_job_from_args
+    from repro.ops import OpsConfig
+
+    job = _ops_job_from_args(
+        _parse(["ops", "--requests", "3200", "--warmup", "0"])
+    )
+    assert OpsConfig.from_params(job.ops_params).window == 200
+    with pytest.raises(ValueError, match="shards"):
+        _ops_job_from_args(_parse(["ops", "--shards", "-1"]))
+
+
+@pytest.mark.parametrize("command", ["cluster", "ops"])
+def test_obs_and_backend_flags_are_uniform(command, monkeypatch, tmp_path):
+    from repro.cli import _obs_config_from_args
+
+    args = _parse([command])
+    assert args.backend is None
+    assert _obs_config_from_args(args) is None
+    args = _parse([command, "--obs"])
+    assert _obs_config_from_args(args).out_dir == "obs-artifacts"
+    target = str(tmp_path / "artifacts")
+    args = _parse([command, "--obs-dir", target, "--backend", "numpy"])
+    assert _obs_config_from_args(args).out_dir == target  # implies --obs
+    assert args.backend == "numpy"
+
+
+def test_ops_cli_end_to_end_guarded_run(capsys):
+    assert main(
+        [
+            "ops", "--requests", "2000", "--warmup", "200",
+            "--capacity-mb", "2", "--clients", "2", "--seed", "17",
+            "--window", "200", "--min-byte-hit", "0.05",
+            "--snapshot-every", "2", "--degrade-at", "3",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "champion:" in out
+    assert "event: degrade @ window 3" in out
+    assert "rollbacks" in out

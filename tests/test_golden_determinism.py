@@ -40,6 +40,7 @@ SERVE_FAULTS_GOLDEN_PATH = (
 CLUSTER_GOLDEN_PATH = (
     Path(__file__).parent / "golden" / "cluster_determinism.json"
 )
+OPS_GOLDEN_PATH = Path(__file__).parent / "golden" / "ops_determinism.json"
 
 # Small machine (1/64 of Table V) so the whole suite runs in seconds;
 # the capacity ratios the policies react to are preserved.
@@ -349,6 +350,113 @@ def compute_cluster_golden() -> dict:
     }
 
 
+def _reprd(value):
+    """Recursively repr floats so golden equality is byte-exact."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return [_reprd(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _reprd(v) for k, v in value.items()}
+    return value
+
+
+def _ops_stats(result, fleet: bool) -> dict:
+    """Everything an ops-managed run decides, floats repr'd.
+
+    The windows and the event log are pinned whole — every promote /
+    trip / rollback / snapshot transition, at its exact window, seq and
+    virtual time — not just the final counters.
+    """
+    return {
+        "champion": (
+            _cluster_stats(result.champion) if fleet
+            else _serve_stats(result.champion)
+        ),
+        "challenger": (
+            _serve_stats(result.challenger)
+            if result.challenger is not None
+            else None
+        ),
+        "windows": _reprd(result.windows),
+        "events": _reprd(result.events),
+        "counters": {
+            "snapshots": result.snapshots,
+            "promotions": result.promotions,
+            "trips": result.trips,
+            "rollbacks": result.rollbacks,
+            "degradations": result.degradations,
+        },
+    }
+
+
+#: the guarded-degradation ops spec (mirrors the validated recovery
+#: scenario the ops tests and bench use)
+_GOLDEN_OPS_GUARD = (
+    ("window", 200),
+    ("min_byte_hit_ewma", 0.05),
+    ("trip_after", 2),
+    ("warmup_windows", 2),
+    ("snapshot_every", 2),
+    ("degrade_at_window", 6),
+)
+
+
+def _ops_case(**overrides) -> dict:
+    from repro.ops.jobs import OpsJob
+
+    spec = dict(
+        workload="zipf_scan",
+        policy="chrome",
+        num_requests=1200,
+        warmup_requests=200,
+        capacity_bytes=2 << 20,
+        num_segments=64,
+        num_clients=5,
+        seed=17,
+        checkpoint_every=400,
+    )
+    spec.update(overrides)
+    job = OpsJob(**spec)
+    return _ops_stats(job.execute(), fleet=job.num_shards > 0)
+
+
+def compute_ops_golden() -> dict:
+    """Fixed-seed ops runs pinning the live-operations control loop.
+
+    ``shadow_chrome_zipf_scan`` runs the exact serve-golden
+    ``chrome_zipf_scan`` spec with a shadow LRU challenger attached —
+    its champion block must stay byte-identical to the committed serve
+    golden (the zero-impact contract, cross-asserted by test).  The
+    guarded cases pin a whole degradation story: bad deploy at window
+    6, guardrail trip, rollback to a ring snapshot, recovery — single
+    service and 3-shard fleet.
+    """
+    return {
+        "shadow_chrome_zipf_scan": _ops_case(
+            ops_params=(("window", 200), ("challenger_policy", "lru")),
+        ),
+        "guarded_degrade_phases": _ops_case(
+            workload="phases",
+            workload_params=(("num_phases", 8),),
+            num_requests=4000,
+            checkpoint_every=0,
+            ops_params=_GOLDEN_OPS_GUARD,
+        ),
+        "cluster_guarded_degrade": _ops_case(
+            workload="phases",
+            workload_params=(("num_phases", 8),),
+            num_requests=4000,
+            checkpoint_every=0,
+            ops_params=_GOLDEN_OPS_GUARD,
+            num_shards=3,
+            federate_every=500,
+        ),
+    }
+
+
 @pytest.fixture(scope="module")
 def computed() -> dict:
     return compute_golden()
@@ -505,6 +613,69 @@ def test_cluster_repeated_run_is_deterministic(cluster_computed: dict) -> None:
     assert again == cluster_computed
 
 
+@pytest.fixture(scope="module")
+def ops_computed() -> dict:
+    return compute_ops_golden()
+
+
+@pytest.fixture(scope="module")
+def ops_golden() -> dict:
+    assert OPS_GOLDEN_PATH.exists(), (
+        f"missing golden file {OPS_GOLDEN_PATH}; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_determinism.py --regenerate`"
+    )
+    return json.loads(OPS_GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize(
+    "case",
+    [
+        "shadow_chrome_zipf_scan",
+        "guarded_degrade_phases",
+        "cluster_guarded_degrade",
+    ],
+)
+def test_ops_stats_bit_identical(
+    case: str, ops_computed: dict, ops_golden: dict
+) -> None:
+    assert ops_computed[case] == ops_golden[case], (
+        f"{case}: live-operations behavior diverged from the committed "
+        "golden (window rows, promote/trip/rollback events and their "
+        "virtual times are all deterministic by construction).  If the "
+        "change is intentionally behavior-altering, regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_determinism.py "
+        "--regenerate` and justify the diff."
+    )
+
+
+def test_ops_shadow_champion_matches_serve_golden(
+    ops_computed: dict, serve_golden: dict
+) -> None:
+    """The zero-impact contract, pinned against the committed file: a
+    champion with a shadow challenger attached serves byte-identically
+    to the same spec with no ops layer at all."""
+    assert (
+        ops_computed["shadow_chrome_zipf_scan"]["champion"]
+        == serve_golden["chrome_zipf_scan"]
+    )
+
+
+def test_ops_golden_runs_degrade_trip_and_rollback(ops_computed: dict) -> None:
+    """The guarded cases genuinely exercise the whole state machine."""
+    for case in ("guarded_degrade_phases", "cluster_guarded_degrade"):
+        counters = ops_computed[case]["counters"]
+        assert counters["degradations"] == 1, case
+        assert counters["trips"] >= 1, case
+        assert counters["rollbacks"] >= 1, case
+        kinds = [e["kind"] for e in ops_computed[case]["events"]]
+        assert kinds.index("trip") > kinds.index("degrade"), case
+
+
+def test_ops_repeated_run_is_deterministic(ops_computed: dict) -> None:
+    again = compute_ops_golden()
+    assert again == ops_computed
+
+
 def main() -> None:  # pragma: no cover - maintenance helper
     import argparse
 
@@ -534,6 +705,10 @@ def main() -> None:  # pragma: no cover - maintenance helper
         json.dumps(compute_cluster_golden(), indent=1, sort_keys=True) + "\n"
     )
     print(f"wrote {CLUSTER_GOLDEN_PATH}")
+    OPS_GOLDEN_PATH.write_text(
+        json.dumps(compute_ops_golden(), indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {OPS_GOLDEN_PATH}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -192,3 +192,42 @@ def test_save_is_atomic_no_tmp_left_behind(tmp_path):
     agent.save(path)
     assert path.exists()
     assert list(tmp_path.glob("*.tmp")) == []
+
+
+# --- fixed-point grid validation on load --------------------------------------
+
+
+def test_load_rejects_off_grid_qvalues():
+    """A snapshot whose Q-values do not sit on the live fixed-point
+    lattice must be refused with a clear error, not loaded silently
+    (the scalar table would accept and then drift off-grid forever)."""
+    agent = ServeAgent(seed=1)
+    state = agent_state(agent, kind="serve-agent")
+    state["qtable"]["tables"][0][0][0][0] = 0.1  # not a multiple of 2^-8
+    fresh = ServeAgent(seed=1)
+    with pytest.raises(ValueError, match="off the live fixed-point grid"):
+        load_agent_state(fresh, state, kind="serve-agent")
+
+
+def test_load_rejects_qvalues_beyond_clamp():
+    agent = ServeAgent(seed=1)
+    state = agent_state(agent, kind="serve-agent")
+    config = agent.config
+    quantum = 1.0 / (1 << config.q_fixed_point_fraction_bits)
+    limit = (1 << (config.q_value_bits - 1)) * quantum
+    # On-grid but one quantum past the clamp ceiling.
+    state["qtable"]["tables"][0][0][0][0] = limit
+    fresh = ServeAgent(seed=1)
+    with pytest.raises(ValueError, match="exceeds the live clamp"):
+        load_agent_state(fresh, state, kind="serve-agent")
+
+
+def test_load_accepts_on_grid_snapshot_unchanged():
+    agent = ServeAgent(seed=3)
+    agent.attach(128)
+    _drive_serve_agent(agent, build_workload("zipf_scan", 600, seed=9))
+    state = agent_state(agent, kind="serve-agent")
+    fresh = ServeAgent(seed=3)
+    fresh.attach(128)
+    load_agent_state(fresh, state, kind="serve-agent")
+    assert fresh.qtable.state_dict() == agent.qtable.state_dict()
