@@ -19,7 +19,8 @@ retries with seeded-jitter backoff, a per-tenant circuit breaker,
 stale serving, load shedding) — all bit-identical at any client count.
 
 Importing this package registers the ``serve_zipf``,
-``serve_multitenant``, ``serve_phases`` and ``serve_faults``
+``serve_multitenant``, ``serve_phases``, ``serve_proxy_burst``,
+``serve_retrieval``, ``serve_storage`` and ``serve_faults``
 experiments with the shared registry; their
 :class:`~repro.serve.jobs.ServeJob` specs run on the parallel
 experiment engine like every paper figure.
@@ -57,7 +58,16 @@ from .service import (
     run_service,
 )
 from .store import CachedObject, ObjectStore
-from .workloads import WORKLOADS, Request, build_workload, object_size
+from .workloads import (
+    MAX_OBJECT_BYTES,
+    WORKLOAD_SPECS,
+    WORKLOADS,
+    Request,
+    WorkloadSpec,
+    build_workload,
+    key_namespace,
+    object_size,
+)
 
 from . import experiments as _experiments  # noqa: F401  (eager registration)
 
@@ -90,9 +100,13 @@ __all__ = [
     "ServeMetrics",
     "ServePolicy",
     "ServiceConfig",
+    "MAX_OBJECT_BYTES",
     "TenantMetrics",
     "WORKLOADS",
+    "WORKLOAD_SPECS",
+    "WorkloadSpec",
     "build_workload",
+    "key_namespace",
     "make_serve_policy",
     "object_size",
     "register_serve_policy",

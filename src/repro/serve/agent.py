@@ -54,12 +54,14 @@ from .workloads import Request
 
 KEY_SIG_BITS = 17
 SIZE_CLASS_BITS = 16
+FREQ_CLASS_BITS = 8
+REGION_BITS = 14
 
 _CACHE_LIMIT = 1 << 20
 
 
 class ServeFeatureExtractor:
-    """Two-feature state vector for serve requests (Sec. IV-A analogue).
+    """Four-feature state vector for serve requests (Sec. IV-A analogue).
 
     Feature 1 — **key signature**: the key hashed with the hit/miss
     outcome, an ``is_refresh`` bit and the tenant id folded in, exactly
@@ -71,19 +73,53 @@ class ServeFeatureExtractor:
     tenant), the data-access feature.  It generalizes across keys, so
     the agent can learn size-aware admission (e.g. large scan objects
     are rarely worth their bytes) even for never-seen keys.
+
+    Feature 3 — **frequency class**: how many times this key has been
+    requested so far (x tenant), exact up to 8 and log2-bucketed above.
+    This is the standard learned-cache feature (LRB, Cold-RL) that
+    survives *size-blind* pollution: a burst-storm key or an ANN
+    near-duplicate is indistinguishable from foreground traffic by
+    size or by a cold signature bucket, but it is always on its first
+    or second request — low-count slices learn "bypass" while
+    repeat-miss slices learn "admit", and the lesson transfers to
+    never-seen keys immediately.  Low counts stay exact because the
+    interesting admission boundaries sit there: traffic where crawler
+    retries die after exactly two touches needs count-2 and count-3 in
+    different states, which a pure log2 bucket would merge.
+
+    Feature 4 — **key region**: the key's 1024-key page (x tenant),
+    the spatial-locality feature.  Real key spaces are structured —
+    URL path prefixes, content buckets, embedding clusters — and heat
+    is correlated within a region: when a new conversation session or
+    a freshly trending bucket starts, its first key is unknowable, but
+    by the time its second key arrives the region slice already says
+    "this neighborhood is hot".  It is the serve analogue of the
+    address-region features hardware predictors use, and the only
+    feature that can admit the *first* touch of a key whose neighbors
+    are popular.
     """
 
-    __slots__ = ("_sig_cache", "_size_cache")
+    @staticmethod
+    def freq_class(count: int) -> int:
+        """Exact below 8, log2 bucket above (9, 10, ... per octave)."""
+        return count if count < 8 else count.bit_length() + 5
 
-    num_features = 2
+    __slots__ = (
+        "_sig_cache", "_size_cache", "_freq_cache", "_region_cache", "_counts"
+    )
+
+    num_features = 4
 
     def __init__(self) -> None:
         self._sig_cache: Dict[int, int] = {}
         self._size_cache: Dict[int, int] = {}
+        self._freq_cache: Dict[int, int] = {}
+        self._region_cache: Dict[int, int] = {}
+        self._counts: Dict[int, int] = {}
 
     def extract(
         self, key: int, size: int, tenant: int, hit: bool, is_refresh: bool
-    ) -> Tuple[int, int]:
+    ) -> Tuple[int, int, int, int]:
         sig_key = (((key << 8) | (tenant & 0x3F)) << 2) | ((1 if hit else 0) << 1) | (
             1 if is_refresh else 0
         )
@@ -102,32 +138,60 @@ class ServeFeatureExtractor:
             size_feat = fold_hash(size_key, SIZE_CLASS_BITS)
             if len(self._size_cache) < _CACHE_LIMIT:
                 self._size_cache[size_key] = size_feat
-        return (sig, size_feat)
+        count = self._counts.get(key, 0) + 1
+        if count > 1 or len(self._counts) < _CACHE_LIMIT:
+            self._counts[key] = count
+        freq_key = (self.freq_class(count) << 8) | (tenant & 0xFF)
+        freq_feat = self._freq_cache.get(freq_key)
+        if freq_feat is None:
+            freq_feat = fold_hash(freq_key, FREQ_CLASS_BITS)
+            if len(self._freq_cache) < _CACHE_LIMIT:
+                self._freq_cache[freq_key] = freq_feat
+        region_key = (key >> 10) ^ (tenant << 48)
+        region_feat = self._region_cache.get(region_key)
+        if region_feat is None:
+            region_feat = fold_hash(region_key, REGION_BITS)
+            if len(self._region_cache) < _CACHE_LIMIT:
+                self._region_cache[region_key] = region_feat
+        return (sig, size_feat, freq_feat, region_feat)
 
 
 class BackendObstructionMonitor:
     """Per-tenant EWMA of backend fetch latency — the C-AMAT stand-in.
 
-    A tenant whose recent origin fetches are slower than
-    ``threshold x`` the unloaded baseline is *obstructed*: its misses
-    are expensive right now, so the agent's concurrency-aware NR
-    rewards amplify (exactly the role the LLC-obstruction flags play
-    in the paper's reward scheme).
+    A tenant whose *recent* origin fetches (fast EWMA) are slower than
+    ``threshold x`` its own typical latency (slow EWMA, floored at the
+    unloaded baseline) is *obstructed*: its misses are expensive right
+    now, so the agent's concurrency-aware NR rewards amplify (exactly
+    the role the LLC-obstruction flags play in the paper's reward
+    scheme).  Obstruction is a *relative* signal, as in the paper —
+    each core is compared against its own typical memory performance.
+    A service running steadily at high concurrency is not obstructed,
+    it is just busy; only transient deterioration (origin brownouts,
+    fault bursts, queue blowups) should skew the reward magnitudes.
     """
 
-    __slots__ = ("baseline_ms", "threshold", "beta", "_ewma")
+    __slots__ = ("baseline_ms", "threshold", "beta", "slow_beta", "_ewma", "_slow")
 
     def __init__(
-        self, baseline_ms: float, threshold: float = 1.35, beta: float = 0.08
+        self,
+        baseline_ms: float,
+        threshold: float = 1.35,
+        beta: float = 0.08,
+        slow_beta: float = 0.005,
     ) -> None:
         self.baseline_ms = baseline_ms
         self.threshold = threshold
         self.beta = beta
+        self.slow_beta = slow_beta
         self._ewma: Dict[int, float] = {}
+        self._slow: Dict[int, float] = {}
 
     def observe(self, tenant: int, latency_ms: float) -> None:
         prev = self._ewma.get(tenant, self.baseline_ms)
         self._ewma[tenant] = prev + self.beta * (latency_ms - prev)
+        slow = self._slow.get(tenant, self.baseline_ms)
+        self._slow[tenant] = slow + self.slow_beta * (latency_ms - slow)
 
     def observe_failure(self, tenant: int, latency_ms: float) -> None:
         """A failed/denied origin fetch — the strongest obstruction signal.
@@ -135,18 +199,21 @@ class BackendObstructionMonitor:
         Fault-inflated and failed fetches are *real* concurrency
         information, not noise: a tenant whose origin shard is erroring
         or browned out is exactly where a wasted cache slot hurts most.
-        The observation is floored at the obstruction threshold so a
+        The observation is floored above the obstruction threshold so a
         fast-fail (whose response latency is tiny) still drives the
         EWMA toward the obstructed region instead of *washing it out*.
         """
-        floor = self.baseline_ms * self.threshold * 2.0
-        self.observe(tenant, latency_ms if latency_ms > floor else floor)
+        typical = max(self._slow.get(tenant, self.baseline_ms), self.baseline_ms)
+        floor = typical * self.threshold * 2.0
+        prev = self._ewma.get(tenant, self.baseline_ms)
+        self._ewma[tenant] = prev + self.beta * (max(latency_ms, floor) - prev)
 
     def is_obstructed(self, tenant: int) -> bool:
         ewma = self._ewma.get(tenant)
         if ewma is None:
             return False
-        return ewma > self.baseline_ms * self.threshold
+        typical = max(self._slow.get(tenant, self.baseline_ms), self.baseline_ms)
+        return ewma > typical * self.threshold
 
     def summary(self) -> dict:
         return {f"tenant{t}": round(v, 3) for t, v in sorted(self._ewma.items())}

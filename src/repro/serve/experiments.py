@@ -1,6 +1,6 @@
 """Serve experiments: CHROME vs. classic policies on the PR-1 engine.
 
-Four experiments register at import time (importing
+Seven experiments register at import time (importing
 :mod:`repro.experiments` — or :mod:`repro.serve` — is enough), each a
 declarative :class:`~repro.experiments.engine.ExperimentPlan` over
 :class:`~repro.serve.jobs.ServeJob` specs:
@@ -13,6 +13,15 @@ declarative :class:`~repro.experiments.engine.ExperimentPlan` over
   ratios show who wins and who starves;
 * ``serve_phases``      — diurnal popularity shifts: stale-frequency
   traps for LFU-like policies, adaptation speed for the agent;
+* ``serve_proxy_burst`` — NGINX-style proxy traffic with size-blind
+  one-shot storms and crawler-retry echoes (Cold-RL's setting): no
+  size heuristic filters the storms, fixed two-touch promotion admits
+  dead echo keys;
+* ``serve_retrieval``   — semantic-retrieval / embedding-buffer access
+  with clustered near-duplicates, drifting hot clusters and short
+  conversation sessions (Sun et al.'s setting);
+* ``serve_storage``     — bimodal storage-tier reuse plus sequential
+  backup floods (Phoebe's setting);
 * ``serve_faults``      — chaos run: deterministic outages, error
   bursts and latency spikes against a resilient (timeout/retry/
   breaker/stale/shed) vs. a naive configuration of the same policy —
@@ -168,6 +177,33 @@ def serve_phases_plan(scale: ExperimentScale) -> ExperimentPlan:
     )
 
 
+def serve_proxy_burst_plan(scale: ExperimentScale) -> ExperimentPlan:
+    return _comparison_plan(
+        "serve_proxy_burst",
+        "proxy cache under size-blind burst storms with crawler echoes",
+        "proxy_burst",
+        scale,
+    )
+
+
+def serve_retrieval_plan(scale: ExperimentScale) -> ExperimentPlan:
+    return _comparison_plan(
+        "serve_retrieval",
+        "embedding buffer under clustered retrieval with query drift",
+        "retrieval",
+        scale,
+    )
+
+
+def serve_storage_plan(scale: ExperimentScale) -> ExperimentPlan:
+    return _comparison_plan(
+        "serve_storage",
+        "storage tier under bimodal reuse and sequential floods",
+        "storage_tier",
+        scale,
+    )
+
+
 """Chaos scenario: all window widths scale with the run's virtual
 horizon, so ~the same number of outages hit a CI-sized run and a
 full-scale one.  ``INTER_ARRIVAL_MS`` mirrors LatencyConfig's default
@@ -315,6 +351,9 @@ SERVE_PLANS = {
     "serve_zipf": serve_zipf_plan,
     "serve_multitenant": serve_multitenant_plan,
     "serve_phases": serve_phases_plan,
+    "serve_proxy_burst": serve_proxy_burst_plan,
+    "serve_retrieval": serve_retrieval_plan,
+    "serve_storage": serve_storage_plan,
     "serve_faults": serve_faults_plan,
 }
 

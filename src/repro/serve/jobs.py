@@ -28,7 +28,7 @@ from .workloads import build_workload
 #: Bump when serve semantics change in a way that must invalidate
 #: previously cached serve results (the serve analogue of
 #: :data:`repro.experiments.jobspec.CODE_VERSION`).
-SERVE_CODE_VERSION = "serve-1"
+SERVE_CODE_VERSION = "serve-2"
 
 
 @dataclass(frozen=True)

@@ -5,15 +5,26 @@
   shared LLC — matching ChampSim's multi-programmed mode);
 * **heterogeneous** mixes run a different randomly chosen trace per
   core.  The paper uses 150 4-core, 25 8-core, and 25 16-core mixes.
+
+Beyond the paper's random mixes, this module ships the **Kill-Llama
+mix ladder** (zhian66/Kill-Llama, ``benchmark/Benchmark.md``): seven
+named 4-core mixes — mix1 through mix7 — whose aggregate LLC MPKI
+increases monotonically up the ladder, built from SPEC/GAP workloads
+plus the four STREAM bandwidth kernels (add/copy/scale/triad).  The
+original apps that our synthetic registry does not model are
+substituted by registry workloads with the same published memory
+character (see :data:`KILL_LLAMA_APP_MAP`); the monotone-MPKI contract
+is enforced by ``tests/test_mixes.py`` under the tiny sim config.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from .gap import build_gap_trace
 from .spec import ALL_SPEC_WORKLOADS, build_spec_trace
+from .synthetic import make_trace, stream_kernel
 from .trace import Trace
 
 #: distance between per-core address spaces (1 TB)
@@ -23,14 +34,58 @@ TraceBuilder = Callable[[str, int, int, float], Trace]  # (name, accesses, seed,
 
 
 def _default_builder(name: str, num_accesses: int, seed: int, scale: float) -> Trace:
-    """Resolve a workload name against the SPEC then GAP registries.
+    """Resolve a workload name against the SPEC, STREAM, then GAP registries.
 
     ``scale`` shrinks working sets / graph sizes in lock-step with the
     simulated machine (see :class:`repro.sim.SystemConfig`).
     """
     if name in ALL_SPEC_WORKLOADS:
         return build_spec_trace(name, num_accesses, seed=seed, scale=scale)
+    if name in STREAM_KERNELS:
+        return build_stream_trace(name, num_accesses, seed=seed, scale=scale)
     return build_gap_trace(name, num_accesses, seed=seed, scale=scale)
+
+
+# --- STREAM bandwidth kernels -------------------------------------------------
+
+#: kernel name -> array shape + per-element instruction gap.  Accesses
+#: are block-granular (the vectorized kernels touch each 64 B line
+#: once); the gap tuples are the calibration knob — per-kernel
+#: instruction mixes chosen so the synthetic suite reproduces the
+#: published Kill-Llama property that the mix ladder's MPKI rises
+#: monotonically (see :data:`KILL_LLAMA_MIXES`).
+STREAM_KERNELS: Dict[str, dict] = {
+    "stream_copy": dict(num_reads=1, num_writes=1, elem_bytes=64, gap=(3, 7)),
+    "stream_scale": dict(num_reads=1, num_writes=1, elem_bytes=64, gap=(7, 15)),
+    "stream_add": dict(num_reads=2, num_writes=1, elem_bytes=64, gap=(10, 20)),
+    "stream_triad": dict(num_reads=2, num_writes=1, elem_bytes=64, gap=(5, 11)),
+}
+
+STREAM_TRACES: Tuple[str, ...] = tuple(STREAM_KERNELS)
+
+#: STREAM arrays sized against the full machine like SPEC working sets
+_STREAM_FULL_SCALE_WRAP_BLOCKS = 4 << 20
+
+
+def build_stream_trace(
+    name: str, num_accesses: int, seed: int = 0, scale: float = 1.0
+) -> Trace:
+    """Build a finite trace for one STREAM kernel (e.g. ``stream_triad``)."""
+    try:
+        params = STREAM_KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown STREAM kernel {name!r}; available: {sorted(STREAM_KERNELS)}"
+        ) from None
+    wrap_blocks = max(1 << 12, int(_STREAM_FULL_SCALE_WRAP_BLOCKS * scale))
+    return make_trace(
+        name,
+        lambda: stream_kernel(
+            0, 0x2000_0000, wrap_blocks=wrap_blocks, seed=seed, **params
+        ),
+        num_accesses,
+        metadata={"suite": "stream", "kernel": name, "seed": seed},
+    )
 
 
 def homogeneous_mix(
@@ -63,6 +118,73 @@ def heterogeneous_mix(
         )
         for core, name in enumerate(names)
     ]
+
+
+# --- the Kill-Llama mix ladder ------------------------------------------------
+
+#: Kill-Llama app -> registry workload standing in for it.  Apps our
+#: synthetic SPEC registry models directly map onto their counterparts
+#: (mcf/lbm/omnetpp); the rest are substitutes calibrated — like the
+#: STREAM gaps above — so the seven mixes reproduce the published
+#: monotone-MPKI ladder: imagick/leela on the registry's cache-friendly
+#: compute apps, deepsjeng on a pointer-heavy integer app, and the GAP
+#: kernels on the road/twitter datasets.
+KILL_LLAMA_APP_MAP: Dict[str, str] = {
+    "imagick": "hmmer06",
+    "leela": "gromacs06",
+    "deepsjeng": "xalancbmk06",
+    "omnetpp": "omnetpp17",
+    "mcf": "mcf17",
+    "lbm": "lbm17",
+    "sssp": "sssp-or",
+    "bfs": "bfs-tw",
+    "stream_add": "stream_add",
+    "stream_copy": "stream_copy",
+    "stream_scale": "stream_scale",
+    "stream_triad": "stream_triad",
+}
+
+#: the published 4-core compositions (zhian66/Kill-Llama,
+#: benchmark/Benchmark.md), in original app names; MPKI increases from
+#: mix1 to mix7 (enforced by tests/test_mixes.py on the substitutes).
+KILL_LLAMA_MIXES: Dict[str, Tuple[str, str, str, str]] = {
+    "mix1": ("imagick", "sssp", "stream_add", "mcf"),
+    "mix2": ("leela", "deepsjeng", "omnetpp", "stream_copy"),
+    "mix3": ("sssp", "bfs", "stream_scale", "lbm"),
+    "mix4": ("bfs", "stream_add", "mcf", "lbm"),
+    "mix5": ("bfs", "mcf", "stream_triad", "lbm"),
+    "mix6": ("sssp", "stream_scale", "stream_triad", "stream_copy"),
+    "mix7": ("mcf", "stream_triad", "lbm", "stream_copy"),
+}
+
+KILL_LLAMA_MIX_NAMES: Tuple[str, ...] = tuple(
+    f"mix{i}" for i in range(1, len(KILL_LLAMA_MIXES) + 1)
+)
+
+
+def kill_llama_apps(name: str) -> Tuple[str, ...]:
+    """The registry workloads behind one Kill-Llama mix name."""
+    try:
+        apps = KILL_LLAMA_MIXES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown Kill-Llama mix {name!r}; available: {KILL_LLAMA_MIX_NAMES}"
+        ) from None
+    return tuple(KILL_LLAMA_APP_MAP[app] for app in apps)
+
+
+def kill_llama_mix(
+    name: str,
+    num_accesses: int,
+    seed: int = 0,
+    scale: float = 1.0,
+    builder: TraceBuilder = _default_builder,
+) -> List[Trace]:
+    """One named Kill-Llama mix as a 4-core heterogeneous mix."""
+    return heterogeneous_mix(
+        kill_llama_apps(name), num_accesses, seed=seed, scale=scale,
+        builder=builder,
+    )
 
 
 def random_mix_names(

@@ -222,6 +222,53 @@ def multi_stream(
         yield MemoryAccess(pcs[s], addr, is_write, randint(lo, hi))
 
 
+def stream_kernel(
+    region: int,
+    base: int,
+    *,
+    num_reads: int,
+    num_writes: int = 1,
+    elem_bytes: int = 8,
+    array_spacing_blocks: int = 1 << 20,
+    wrap_blocks: int = 1 << 22,
+    gap: Tuple[int, int] = (2, 6),
+    seed: int = 0,
+) -> Iterator[MemoryAccess]:
+    """A STREAM-style bandwidth kernel: lockstep array sweeps.
+
+    Each iteration reads element ``i`` of ``num_reads`` source arrays
+    and writes element ``i`` of ``num_writes`` destination arrays —
+    copy is (1r, 1w), add/triad are (2r, 1w).  With the default
+    ``elem_bytes=8`` every 64 B block is touched 8 times before the
+    sweep moves on; ``elem_bytes=64`` models the vectorized kernels
+    where the trace records one access per line.  Either way the
+    traffic is sequential and reuse-free, so its MPKI is set almost
+    entirely by the ``gap`` instruction mix — which is the calibration
+    knob the mix ladder uses (:data:`repro.traces.mixes.STREAM_KERNELS`).
+    """
+    rng = random.Random(seed)
+    randint = rng.randint
+    lo, hi = gap
+    read_pcs = [_pc(region, s) for s in range(num_reads)]
+    write_pcs = [_pc(region, num_reads + s) for s in range(num_writes)]
+    spacing = array_spacing_blocks * BLOCK_SIZE
+    wrap = wrap_blocks * BLOCK_SIZE
+    offset = 0
+    while True:
+        for s in range(num_reads):
+            yield MemoryAccess(
+                read_pcs[s], base + s * spacing + offset, False, randint(lo, hi)
+            )
+        for s in range(num_writes):
+            yield MemoryAccess(
+                write_pcs[s],
+                base + (num_reads + s) * spacing + offset,
+                True,
+                randint(lo, hi),
+            )
+        offset = (offset + elem_bytes) % wrap
+
+
 # --- composition -----------------------------------------------------------
 
 

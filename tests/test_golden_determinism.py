@@ -41,6 +41,9 @@ CLUSTER_GOLDEN_PATH = (
     Path(__file__).parent / "golden" / "cluster_determinism.json"
 )
 OPS_GOLDEN_PATH = Path(__file__).parent / "golden" / "ops_determinism.json"
+WORKLOADS_GOLDEN_PATH = (
+    Path(__file__).parent / "golden" / "workloads_determinism.json"
+)
 
 # Small machine (1/64 of Table V) so the whole suite runs in seconds;
 # the capacity ratios the policies react to are preserved.
@@ -184,7 +187,52 @@ def compute_serve_golden() -> dict:
         "chrome_zipf_scan": _serve_case("zipf_scan", "chrome"),
         "chrome_multitenant": _serve_case("multitenant", "chrome"),
         "s3fifo_phases": _serve_case("phases", "s3fifo"),
+        "chrome_proxy_burst": _serve_case("proxy_burst", "chrome"),
+        "gdsf_retrieval": _serve_case("retrieval", "gdsf"),
+        "lru_storage_tier": _serve_case("storage_tier", "lru"),
     }
+
+
+#: generators pinned request-by-request (the serve cases above pin
+#: end-to-end store behavior; these pin the raw streams themselves)
+_WORKLOAD_GOLDEN_NAMES = ("proxy_burst", "retrieval", "storage_tier")
+_WORKLOAD_GOLDEN_SEED = 11
+_WORKLOAD_GOLDEN_REQUESTS = 4000
+_WORKLOAD_GOLDEN_PREFIX = 64
+
+
+def compute_workloads_golden() -> dict:
+    """Request-stream pins for the atlas generators.
+
+    Each case records the first N ``[key, size, tenant, is_refresh]``
+    tuples verbatim plus whole-stream aggregates (length, distinct
+    keys, total bytes, an order-sensitive checksum), so any change to a
+    generator's RNG discipline — not just its first few draws — trips
+    the pin.
+    """
+    from repro.serve.workloads import build_workload
+
+    out = {}
+    for name in _WORKLOAD_GOLDEN_NAMES:
+        stream = build_workload(
+            name, _WORKLOAD_GOLDEN_REQUESTS, seed=_WORKLOAD_GOLDEN_SEED
+        )
+        checksum = 0
+        for position, r in enumerate(stream):
+            checksum = (
+                checksum * 1000003 + r.key * 31 + r.size * 7 + position
+            ) % (1 << 61)
+        out[name] = {
+            "prefix": [
+                [r.key, r.size, r.tenant, r.is_refresh]
+                for r in stream[:_WORKLOAD_GOLDEN_PREFIX]
+            ],
+            "requests": len(stream),
+            "distinct_keys": len({r.key for r in stream}),
+            "total_bytes": sum(r.size for r in stream),
+            "checksum": checksum,
+        }
+    return out
 
 
 def _serve_fault_stats(metrics) -> dict:
@@ -403,6 +451,13 @@ _GOLDEN_OPS_GUARD = (
     ("degrade_at_window", 6),
 )
 
+#: the fleet variant runs the same stream over 3 shard-sized caches
+#: (1/3 capacity each), so its healthy byte-hit EWMA sits lower —
+#: the floor must separate "small shards" from "sabotaged deploy"
+_GOLDEN_OPS_GUARD_FLEET = tuple(
+    (k, 0.02 if k == "min_byte_hit_ewma" else v) for k, v in _GOLDEN_OPS_GUARD
+)
+
 
 def _ops_case(**overrides) -> dict:
     from repro.ops.jobs import OpsJob
@@ -450,7 +505,7 @@ def compute_ops_golden() -> dict:
             workload_params=(("num_phases", 8),),
             num_requests=4000,
             checkpoint_every=0,
-            ops_params=_GOLDEN_OPS_GUARD,
+            ops_params=_GOLDEN_OPS_GUARD_FLEET,
             num_shards=3,
             federate_every=500,
         ),
@@ -511,6 +566,9 @@ def serve_golden() -> dict:
         "chrome_zipf_scan",
         "chrome_multitenant",
         "s3fifo_phases",
+        "chrome_proxy_burst",
+        "gdsf_retrieval",
+        "lru_storage_tier",
     ],
 )
 def test_serve_stats_bit_identical(
@@ -676,6 +734,41 @@ def test_ops_repeated_run_is_deterministic(ops_computed: dict) -> None:
     assert again == ops_computed
 
 
+@pytest.fixture(scope="module")
+def workloads_computed() -> dict:
+    return compute_workloads_golden()
+
+
+@pytest.fixture(scope="module")
+def workloads_golden() -> dict:
+    assert WORKLOADS_GOLDEN_PATH.exists(), (
+        f"missing golden file {WORKLOADS_GOLDEN_PATH}; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_determinism.py --regenerate`"
+    )
+    return json.loads(WORKLOADS_GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("case", list(_WORKLOAD_GOLDEN_NAMES))
+def test_workload_stream_bit_identical(
+    case: str, workloads_computed: dict, workloads_golden: dict
+) -> None:
+    assert workloads_computed[case] == workloads_golden[case], (
+        f"{case}: the generator's request stream diverged from the "
+        "committed golden (first-N tuples and whole-stream checksum).  "
+        "If the generator change is intentional, regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_determinism.py "
+        "--regenerate` and justify the diff — silent stream drift "
+        "invalidates every serve result comparison."
+    )
+
+
+def test_workload_streams_repeated_run_deterministic(
+    workloads_computed: dict,
+) -> None:
+    again = compute_workloads_golden()
+    assert again == workloads_computed
+
+
 def main() -> None:  # pragma: no cover - maintenance helper
     import argparse
 
@@ -709,6 +802,10 @@ def main() -> None:  # pragma: no cover - maintenance helper
         json.dumps(compute_ops_golden(), indent=1, sort_keys=True) + "\n"
     )
     print(f"wrote {OPS_GOLDEN_PATH}")
+    WORKLOADS_GOLDEN_PATH.write_text(
+        json.dumps(compute_workloads_golden(), indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {WORKLOADS_GOLDEN_PATH}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -220,12 +220,30 @@ def test_make_serve_policy_registry():
 def test_feature_extractor_is_stable_and_bounded():
     fx = ServeFeatureExtractor()
     a = fx.extract(123, 4096, tenant=1, hit=False, is_refresh=False)
-    assert a == fx.extract(123, 4096, tenant=1, hit=False, is_refresh=False)
+    # extract is called once per request, so the frequency feature is
+    # deliberately stateful: a repeat of the same request advances the
+    # per-key count while every other feature stays put
+    b = fx.extract(123, 4096, tenant=1, hit=False, is_refresh=False)
+    assert (a[0], a[1], a[3]) == (b[0], b[1], b[3])
+    assert a[2] != b[2]
     assert a != fx.extract(123, 4096, tenant=1, hit=True, is_refresh=False)
     assert 0 <= a[0] < (1 << 17) and 0 <= a[1] < (1 << 16)
     # size feature depends only on the log2 bucket
     same_bucket = fx.extract(123, 4097, tenant=1, hit=False, is_refresh=False)
     assert a[1] == same_bucket[1]
+    # region feature depends only on the key's 1024-key page (x tenant)
+    same_region = fx.extract(124, 4096, tenant=1, hit=False, is_refresh=False)
+    other_region = fx.extract(99_123, 4096, tenant=1, hit=False, is_refresh=False)
+    assert a[3] == same_region[3]
+    assert a[3] != other_region[3]
+
+
+def test_frequency_class_exact_then_log2():
+    fc = ServeFeatureExtractor.freq_class
+    assert [fc(n) for n in range(1, 8)] == list(range(1, 8))
+    assert fc(8) == fc(15) == 9          # one octave per bucket above 8
+    assert fc(16) == fc(31) == 10
+    assert fc(7) != fc(8)
 
 
 def test_obstruction_monitor_flags_slow_tenants():

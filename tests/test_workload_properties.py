@@ -1,0 +1,199 @@
+"""Generic property harness for every registered workload generator.
+
+Every test in this module is parametrized over the ``WORKLOADS``
+registry, so a new generator gets its correctness checks *for free*
+the moment it registers — no per-generator test code:
+
+* **determinism** — identical (name, count, seed) produce byte-
+  identical request streams, across two fresh calls;
+* **seed sensitivity** — different seeds produce different streams
+  (the generator actually consumes its seed);
+* **count exactness** — the stream has exactly the requested length,
+  for awkward counts too (bursts and floods must truncate cleanly);
+* **size validity** — every size is positive, bounded by
+  ``MAX_OBJECT_BYTES``, and equals ``object_size(key)`` (sizes are a
+  pure function of the key — the "same URL, same body" contract every
+  store and policy relies on);
+* **declared invariants** — each :class:`WorkloadSpec` states
+  machine-checkable distribution facts (hot-set skew, one-shot mass,
+  burst periodicity, tenant span, hot-set drift); the harness verifies
+  exactly the facts a spec declares.
+
+Plus focused tests for :func:`build_workload`'s error paths: unknown
+names fail with a did-you-mean suggestion, unknown knobs fail listing
+the valid ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.serve.workloads import (
+    MAX_OBJECT_BYTES,
+    WORKLOAD_SPECS,
+    WORKLOADS,
+    build_workload,
+    key_namespace,
+    object_size,
+)
+
+#: every harness run generates this many requests — large enough that
+#: storms/floods/phases all fire, small enough to keep tier-1 fast
+_N = 6000
+_SEED = 5
+
+_ALL = sorted(WORKLOADS)
+
+
+@pytest.fixture(scope="module")
+def streams():
+    """One shared stream per generator (the harness is read-only)."""
+    return {name: build_workload(name, _N, seed=_SEED) for name in _ALL}
+
+
+@pytest.mark.parametrize("name", _ALL)
+def test_identical_seeds_byte_identical(name, streams):
+    again = build_workload(name, _N, seed=_SEED)
+    assert again == streams[name]
+
+
+@pytest.mark.parametrize("name", _ALL)
+def test_different_seeds_differ(name, streams):
+    other = build_workload(name, _N, seed=_SEED + 1)
+    assert other != streams[name]
+
+
+@pytest.mark.parametrize("name", _ALL)
+@pytest.mark.parametrize("count", [1, 7, 997, _N])
+def test_request_count_exact(name, count):
+    assert len(build_workload(name, count, seed=_SEED)) == count
+
+
+@pytest.mark.parametrize("name", _ALL)
+def test_sizes_valid_and_key_determined(name, streams):
+    for r in streams[name]:
+        assert 0 < r.size <= MAX_OBJECT_BYTES, (r.key, r.size)
+        assert r.size == object_size(r.key)
+
+
+@pytest.mark.parametrize("name", _ALL)
+def test_keys_stay_inside_tenant_namespaces(name, streams):
+    """Tenant bits sit above every generator namespace: stripping them
+    must always leave a known namespace id."""
+    namespaces = {key_namespace(r.key) for r in streams[name]}
+    assert namespaces <= set(range(9)), namespaces
+
+
+# --- declared distribution invariants ----------------------------------------
+
+
+def _invariant_cases(kind):
+    return [
+        pytest.param(name, spec.invariants[kind], id=name)
+        for name, spec in sorted(WORKLOAD_SPECS.items())
+        if kind in spec.invariants
+    ]
+
+
+def test_every_spec_declares_at_least_one_invariant():
+    """A generator with no declared facts gets no free checking — keep
+    the registry honest."""
+    for name, spec in WORKLOAD_SPECS.items():
+        assert spec.invariants, f"{name} declares no invariants"
+
+
+@pytest.mark.parametrize("name,minimum", _invariant_cases("hot_skew_min"))
+def test_hot_skew(name, minimum, streams):
+    """The top 10% of distinct keys carry >= the declared request mass."""
+    counts = Counter(r.key for r in streams[name])
+    top = max(1, len(counts) // 10)
+    hot_mass = sum(c for _, c in counts.most_common(top))
+    skew = hot_mass / sum(counts.values())
+    assert skew >= minimum, f"{name}: hot skew {skew:.3f} < {minimum}"
+
+
+@pytest.mark.parametrize("name,minimum", _invariant_cases("one_shot_min"))
+def test_one_shot_mass(name, minimum, streams):
+    """At least the declared fraction of distinct keys is touched once."""
+    counts = Counter(r.key for r in streams[name])
+    one_shot = sum(1 for c in counts.values() if c == 1) / len(counts)
+    assert one_shot >= minimum, f"{name}: one-shot {one_shot:.3f} < {minimum}"
+
+
+@pytest.mark.parametrize("name,namespace", _invariant_cases("periodic_namespace"))
+def test_periodic_bursts(name, namespace, streams):
+    """Requests in the declared namespace arrive as >= 3 contiguous
+    runs with regular spacing (periodic storms / scans / floods)."""
+    stream = streams[name]
+    runs = []  # (start_index, length) of each contiguous namespace run
+    inside = False
+    for i, r in enumerate(stream):
+        if key_namespace(r.key) == namespace:
+            if not inside:
+                runs.append([i, 0])
+                inside = True
+            runs[-1][1] += 1
+        else:
+            inside = False
+    assert len(runs) >= 3, f"{name}: only {len(runs)} burst(s) in ns {namespace}"
+    starts = [start for start, _ in runs]
+    gaps = [b - a for a, b in zip(starts, starts[1:])]
+    mean = sum(gaps) / len(gaps)
+    for gap in gaps:
+        assert abs(gap - mean) <= 0.5 * mean, (
+            f"{name}: irregular burst spacing {gaps}"
+        )
+
+
+@pytest.mark.parametrize("name,minimum", _invariant_cases("tenants_min"))
+def test_tenant_span(name, minimum, streams):
+    tenants = {r.tenant for r in streams[name]}
+    assert len(tenants) >= minimum
+
+
+@pytest.mark.parametrize("name,maximum", _invariant_cases("drift_max_overlap"))
+def test_hot_set_drifts(name, maximum, streams):
+    """Jaccard overlap of the first vs. last quarter's top-50 keys."""
+    stream = streams[name]
+    quarter = len(stream) // 4
+    first = {k for k, _ in Counter(r.key for r in stream[:quarter]).most_common(50)}
+    last = {k for k, _ in Counter(r.key for r in stream[-quarter:]).most_common(50)}
+    jaccard = len(first & last) / len(first | last)
+    assert jaccard <= maximum, f"{name}: overlap {jaccard:.3f} > {maximum}"
+
+
+# --- build_workload error paths ----------------------------------------------
+
+
+def test_unknown_workload_lists_registry_and_suggests():
+    with pytest.raises(KeyError) as excinfo:
+        build_workload("proxy_bursts", 10)
+    message = str(excinfo.value)
+    assert "proxy_bursts" in message
+    assert "did you mean 'proxy_burst'?" in message
+    for name in WORKLOADS:
+        assert name in message
+
+
+def test_unknown_workload_without_near_miss_still_lists():
+    with pytest.raises(KeyError) as excinfo:
+        build_workload("no-such-thing-at-all", 10)
+    message = str(excinfo.value)
+    assert "available" in message
+    assert "did you mean" not in message
+
+
+def test_unknown_knob_names_valid_knobs():
+    with pytest.raises(TypeError) as excinfo:
+        build_workload("retrieval", 10, cluster_sise=4)
+    message = str(excinfo.value)
+    assert "cluster_sise" in message
+    assert "cluster_size" in message  # listed among the valid knobs
+
+
+def test_valid_knobs_pass_through():
+    stream = build_workload("proxy_burst", 50, seed=1, storm_every=10,
+                            storm_length=5)
+    assert len(stream) == 50
