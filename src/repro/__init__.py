@@ -17,7 +17,10 @@ Layout:
 * :mod:`repro.cluster` — the serving layer scaled out: a consistent-
   hash fleet of serve shards with Q-table federation;
 * :mod:`repro.obs` — opt-in observability (timelines, Chrome traces,
-  counters).
+  counters);
+* :mod:`repro.env` — the Environment protocol: the shared
+  :class:`AgentCore` RL driver plus one adapter per domain (sim,
+  serve, cluster, and the toy DRAM-row existence proof).
 
 This module is the *versioned facade*: everything in ``__all__`` is
 the stable public surface — new subsystems extend it, minor releases
@@ -58,6 +61,15 @@ from .core import (
     overhead_comparison,
 )
 from .core.persistence import restore_agent, save_agent
+from .env import (
+    AgentCore,
+    EnvJob,
+    Environment,
+    Observation,
+    available_environments,
+    build_environment,
+    register_environment,
+)
 from .obs import ObsConfig
 from .experiments import (
     Engine,
@@ -100,10 +112,11 @@ from .traces import (
     homogeneous_mix,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALL_SPEC_WORKLOADS",
+    "AgentCore",
     "CAMATMonitor",
     "Cache",
     "CacheService",
@@ -114,6 +127,8 @@ __all__ = [
     "ClusterService",
     "DRAMModel",
     "Engine",
+    "EnvJob",
+    "Environment",
     "EvaluationQueue",
     "ExperimentPlan",
     "ExperimentScale",
@@ -121,6 +136,7 @@ __all__ = [
     "HashRing",
     "MixSpec",
     "ObsConfig",
+    "Observation",
     "PolicySpec",
     "ResultCache",
     "SimJob",
@@ -137,7 +153,9 @@ __all__ = [
     "SystemConfig",
     "SystemResult",
     "Trace",
+    "available_environments",
     "available_experiments",
+    "build_environment",
     "build_gap_trace",
     "build_spec_trace",
     "chrome_overhead",
@@ -146,6 +164,7 @@ __all__ = [
     "make_nchrome_policy",
     "make_policy",
     "overhead_comparison",
+    "register_environment",
     "register_experiment",
     "resolve_policy",
     "restore_agent",

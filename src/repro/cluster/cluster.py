@@ -346,17 +346,10 @@ class ClusterService:
             raise ValueError(
                 f"expected 1 or {self.num_shards} agent states, got {len(states)}"
             )
-        from ..core.persistence import load_agent_state
+        from ..env.driver import restore_agent_state
 
         for agent, state in zip(self._agents, states):
-            if keep_rng:
-                qtable = dict(state["qtable"])
-                qtable["lookups"] = agent.qtable.lookups
-                qtable["updates"] = agent.qtable.updates
-                state = dict(state)
-                state["qtable"] = qtable
-                state["rng_state"] = None
-            load_agent_state(agent, state, kind="serve-agent")
+            restore_agent_state(agent, state, "serve-agent", keep_rng=keep_rng)
 
     # --- observability --------------------------------------------------------------
 

@@ -14,6 +14,14 @@ This module implements Algorithm 1 end to end as an LLC
   performs one SARSA update pairing the evicted entry with the queue's
   new head.
 
+The decision/training pipeline itself lives in
+:class:`~repro.env.driver.AgentCore` — this class is the LLC *binding*
+of that shared driver: it supplies the (PC, page) feature extraction,
+maps LLC sets to sampled units, wires the C-AMAT monitor in as the
+obstruction source, and translates actions into block EPVs.  The serve
+layer binds the identical driver to object-cache requests
+(:class:`~repro.serve.agent.ServeAgent`); see ``DESIGN.md`` §11.
+
 Eviction among cached blocks follows the EPVs: the victim is the block
 with the highest eviction priority, oldest-first among ties.
 
@@ -24,159 +32,67 @@ rewards; build it with :func:`make_nchrome_policy` or
 
 from __future__ import annotations
 
-import random
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
+from ..env.driver import AgentCore
 from ..sim.access import AccessInfo
 from ..sim.block import CacheBlock
 from ..sim.camat import CAMATMonitor
 from ..sim.replacement.base import ReplacementPolicy
-from ..sim.replacement.optgen import choose_sampled_sets
 from .config import (
     ACTION_BYPASS,
-    ACTION_EPV_HIGH,
     ACTION_TO_EPV,
     EPV_MAX,
-    HIT_ACTIONS,
-    MISS_ACTIONS,
     ChromeConfig,
 )
-from .backend import make_qtable
-from .eq import EQEntry, EvaluationQueue, hash_block_address
 from .features import FeatureExtractor
 
 
-class ChromePolicy(ReplacementPolicy):
+class ChromePolicy(ReplacementPolicy, AgentCore):
     """Concurrency-aware holistic RL cache management."""
 
     name = "chrome"
 
     def __init__(self, config: Optional[ChromeConfig] = None) -> None:
-        super().__init__()
-        self.config = config or ChromeConfig()
-        self.features = FeatureExtractor(self.config.features)
-        self.qtable = make_qtable(self.features.num_features, self.config)
-        self.eq = EvaluationQueue(self.config.sampled_sets, self.config.eq_fifo_size)
-        self._rng = random.Random(self.config.seed)
-        # Hot-path hoists: the bound RNG method and the (construction-
-        # time) exploration rate, saving attribute chains per decision.
-        self._rand = self._rng.random
-        self._epsilon = self.config.epsilon
-        self._rewards = self.config.rewards
-        # Legal-action orderings (first element wins arg-max ties);
-        # instance attributes so variants/ablations can reorder them.
-        self._miss_actions: Tuple[int, ...] = MISS_ACTIONS
-        self._hit_actions: Tuple[int, ...] = HIT_ACTIONS
-        self._camat: Optional[CAMATMonitor] = None
-        self._sampled_queue: Dict[int, int] = {}
+        ReplacementPolicy.__init__(self)
+        config = config or ChromeConfig()
+        self.features = FeatureExtractor(config.features)
+        # Process-independent seeding: the exploration RNG is a pure
+        # function of the config seed.
+        AgentCore.__init__(self, config, self.features.num_features, config.seed)
         # Action chosen by should_bypass(), consumed by the fill that follows.
         self._pending_fill: Optional[Tuple[int, int]] = None  # (block, action)
-        # telemetry
-        self.sampled_accesses = 0
-        self.decisions = 0
-        self.explorations = 0
-        self.bypass_decisions = 0
-        # reward-family mix (Sec. IV-C): how training signal splits
-        # between re-request rewards (R_AC/R_IN) and the OB/NOB
-        # no-re-request rewards assigned at EQ eviction.
-        self.rewards_accurate = 0
-        self.rewards_inaccurate = 0
-        self.rewards_nr_accurate = 0
-        self.rewards_nr_inaccurate = 0
-        self.rewards_nr_obstructed = 0
 
     # --- wiring -----------------------------------------------------------------
 
     def attach(self, num_sets: int, num_ways: int) -> None:
         super().attach(num_sets, num_ways)
-        sampled = sorted(choose_sampled_sets(num_sets, self.config.sampled_sets))
-        self._sampled_queue = {s: i for i, s in enumerate(sampled)}
-        if len(sampled) != self.eq.num_queues:
-            self.eq = EvaluationQueue(len(sampled), self.config.eq_fifo_size)
+        self.attach_sampled(num_sets)
 
     def bind_camat(self, monitor: CAMATMonitor) -> None:
         """Receive the C-AMAT monitor supplying LLC-obstruction flags."""
-        self._camat = monitor
+        self.bind_obstruction(monitor)
 
     # --- the RL decision + training pipeline ------------------------------------
 
+    @property
+    def sampled_accesses(self) -> int:
+        """LLC spelling of the shared sampled-step counter."""
+        return self.sampled_steps
+
     def _decide(self, info: AccessInfo, hit: bool) -> int:
-        """Lines 2-38 of Algorithm 1 for one LLC access."""
-        queue_idx = self._sampled_queue.get(info.set_index)
-        hashed = hash_block_address(info.block_addr) if queue_idx is not None else 0
+        """Lines 2-38 of Algorithm 1 for one LLC access.
 
-        if queue_idx is not None:
-            self.sampled_accesses += 1
-            # Lines 3-8: reward a matching earlier action.
-            entry = self.eq.find(queue_idx, hashed)
-            if entry is not None and entry.reward is None:
-                self.eq.reward_matches += 1
-                rewards = self._rewards
-                if hit:
-                    entry.reward = rewards.accurate(info.is_prefetch)
-                    self.rewards_accurate += 1
-                else:
-                    entry.reward = rewards.inaccurate(info.is_prefetch)
-                    self.rewards_inaccurate += 1
-
-        # Line 9: extract the state vector.
+        The LLC binding of :meth:`~repro.env.driver.AgentCore.rl_decide`:
+        state extraction here, everything else in the shared driver.
+        """
         state = self.features.extract(
             info.pc, info.address, info.core, hit, info.is_prefetch
         )
-
-        # Lines 10-19: epsilon-greedy action selection over legal actions.
-        legal = self._hit_actions if hit else self._miss_actions
-        self.decisions += 1
-        if self._rand() < self._epsilon:
-            action = legal[self._rng.randrange(len(legal))]
-            self.explorations += 1
-        else:
-            action = self.qtable.best_action(state, legal)
-
-        # Lines 21-38: record the action on sampled sets; learn on eviction.
-        if queue_idx is not None:
-            new_entry = EQEntry(
-                state=state,
-                action=action,
-                trigger_hit=hit,
-                hashed_addr=hashed,
-                core=info.core,
-            )
-            evicted, head = self.eq.insert(queue_idx, new_entry)
-            if evicted is not None and head is not None:
-                if not evicted.has_reward:
-                    evicted.reward = self._no_rerequest_reward(evicted)
-                self._sarsa_update(evicted, head)
-        return action
-
-    def _no_rerequest_reward(self, entry: EQEntry) -> float:
-        """NR rewards (lines 24-34): praise actions that de-prioritized a
-        block nobody asked for again, penalize actions that retained it;
-        magnitudes scale with the acting core's LLC obstruction."""
-        rewards = self._rewards
-        obstructed = (
-            self._camat.is_obstructed(entry.core) if self._camat is not None else False
+        return self.rl_decide(
+            state, info.set_index, info.block_addr, hit, info.is_prefetch,
+            info.core,
         )
-        if obstructed:
-            self.rewards_nr_obstructed += 1
-        if entry.trigger_hit:
-            deprioritized = entry.action == ACTION_EPV_HIGH
-        else:
-            deprioritized = entry.action == ACTION_BYPASS
-        if deprioritized:
-            self.rewards_nr_accurate += 1
-            return rewards.accurate_no_rerequest(obstructed)
-        self.rewards_nr_inaccurate += 1
-        return rewards.inaccurate_no_rerequest(obstructed)
-
-    def _sarsa_update(self, evicted: EQEntry, head: EQEntry) -> None:
-        """Line 38: Q(S1,A1) += alpha [R + gamma Q(S2,A2) - Q(S1,A1)]."""
-        cfg = self.config
-        q_next = self.qtable.q(head.state, head.action)
-        q_cur = self.qtable.q(evicted.state, evicted.action)
-        assert evicted.reward is not None
-        delta = cfg.alpha * (evicted.reward + cfg.gamma * q_next - q_cur)
-        self.qtable.apply_delta(evicted.state, evicted.action, delta)
 
     # --- ReplacementPolicy hooks ------------------------------------------------
 
@@ -251,23 +167,12 @@ class ChromePolicy(ReplacementPolicy):
 
     # --- reporting ---------------------------------------------------------------
 
-    def reward_mix(self) -> dict:
-        """Cumulative reward-family counts (the obs timeline samples
-        this each epoch; deltas between epochs give the per-epoch mix)."""
-        return {
-            "accurate": self.rewards_accurate,
-            "inaccurate": self.rewards_inaccurate,
-            "nr_accurate": self.rewards_nr_accurate,
-            "nr_inaccurate": self.rewards_nr_inaccurate,
-            "nr_obstructed": self.rewards_nr_obstructed,
-        }
-
     def telemetry(self) -> dict:
         """Run counters used by the experiments (UPKSA for Table VII,
         exploration/bypass rates, Q-value health)."""
         upksa = (
-            1000.0 * self.qtable.updates / self.sampled_accesses
-            if self.sampled_accesses
+            1000.0 * self.qtable.updates / self.sampled_steps
+            if self.sampled_steps
             else 0.0
         )
         mix = self.reward_mix()
@@ -275,7 +180,7 @@ class ChromePolicy(ReplacementPolicy):
             "decisions": self.decisions,
             "explorations": self.explorations,
             "bypass_decisions": self.bypass_decisions,
-            "sampled_accesses": self.sampled_accesses,
+            "sampled_accesses": self.sampled_steps,
             "q_updates": self.qtable.updates,
             "upksa": upksa,
             "eq_reward_matches": self.eq.reward_matches,

@@ -1,0 +1,57 @@
+"""Declarative environment jobs for the parallel experiment engine.
+
+An :class:`EnvJob` names a registered environment plus its constructor
+overrides and nothing else — the same frozen, hashable,
+self-describing spec discipline every other job kind follows, which is
+what lets any :class:`~repro.env.protocol.Environment` adapter flow
+through the engine's dedup, memo/disk caches and the ``--jobs 1`` vs
+``--jobs N`` bit-identity checks without engine changes.  The result
+is whatever the environment's ``run()`` returns (a picklable,
+value-equal mapping by contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .registry import build_environment
+
+#: Bump when environment semantics change in a way that must
+#: invalidate previously cached environment results.
+ENV_CODE_VERSION = "env-1"
+
+
+@dataclass(frozen=True)
+class EnvJob:
+    """One schedulable run of a registered environment."""
+
+    environment: str
+    #: constructor overrides as a sorted spec tuple (hashable, literal)
+    env_params: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def label(self) -> str:
+        return f"env:{self.environment}"
+
+    def canonical(self) -> Tuple:
+        """Stable literal-only identity (cache key + dedup key)."""
+        return ("env", ENV_CODE_VERSION, self.environment, self.env_params)
+
+    def execute(self, obs=None) -> Dict[str, object]:
+        """Build the environment from the spec alone and run it.
+
+        ``obs`` is accepted for engine-dispatch uniformity;
+        environment runs are not obs-instrumented (their adapters
+        wrap subsystems that carry their own instrumentation).
+        """
+        env = build_environment(self.environment, **dict(self.env_params))
+        return env.run()
+
+
+def env_job(environment: str, **overrides) -> EnvJob:
+    """Spec-tuple convenience: ``env_job("toy", seed=3)``."""
+    return EnvJob(
+        environment=environment,
+        env_params=tuple(sorted(overrides.items())),
+    )

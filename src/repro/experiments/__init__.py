@@ -41,6 +41,7 @@ from . import ablations as _ablations  # noqa: F401  (eager registration)
 from ..serve import experiments as _serve_experiments  # noqa: F401  (serve_* ids)
 from ..cluster import experiments as _cluster_experiments  # noqa: F401  (cluster id)
 from ..ops import experiments as _ops_experiments  # noqa: F401  (serve_ops id)
+from ..env import experiments as _env_experiments  # noqa: F401  (env_toy id)
 
 __all__ = [
     "EXPERIMENTS",

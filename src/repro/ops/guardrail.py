@@ -21,6 +21,27 @@ can be judged again).
 Everything here is a pure function of the signal sequence: no clocks,
 no randomness — the same run trips at the same window every time, at
 any client count.
+
+**Window accounting.**  Three different counters advance on three
+different window populations, and the distinction is deliberate:
+
+* **warmup** counts *measured* windows only (``signals.requests > 0``)
+  — arming waits for the EWMA to settle, and the EWMA only moves when
+  a window carries samples, so empty windows cannot burn warmup.  The
+  guardrail is armed from the ``warmup_windows``-th measured window
+  onward (``_windows_seen >= warmup_windows``): once that many windows
+  have been measured, the very next judgment happens armed.
+* **cooldown** counts *every* elapsed window, empty ones included —
+  the post-rollback grace period is a span of run time, not of
+  traffic, so an idle stretch after a rollback cannot pin the
+  guardrail disarmed forever.
+* **the trip streak** counts consecutive *breaching* windows.  A
+  window that breaches only the raw byte-hit sample (while the EWMA
+  still coasts on healthy history) is suspect but neutral: it neither
+  extends nor resets the streak.  Only a fully healthy window resets
+  it — otherwise degradation that alternates EWMA-breach and
+  raw-only-breach windows would never accumulate ``trip_after``
+  consecutive breaches and never roll back.
 """
 
 from __future__ import annotations
@@ -70,7 +91,12 @@ class Guardrail:
         """Judge one completed window.  Empty windows are skipped."""
         cfg = self.config
         if signals.requests == 0:
-            # nothing measured: no EWMA update, no streak movement
+            # Nothing measured: no EWMA update, no streak movement, and
+            # the window does not count toward warmup — but cooldown is
+            # a span of elapsed windows, so it still ticks down (see
+            # the window-accounting rule in the module docstring).
+            if self._cooldown:
+                self._cooldown -= 1
             return GuardrailVerdict(
                 byte_hit_ewma=self._ewma, streak=self._streak
             )
@@ -127,10 +153,14 @@ class Guardrail:
         suspect = bool(breaches) or raw_breach
         if breaches:
             self._streak += 1
-        else:
+        elif not raw_breach:
+            # A raw-only breach is neutral: suspect (no snapshot push)
+            # but it neither extends nor resets the streak, so
+            # alternating EWMA-breach / raw-only-breach degradation
+            # still accumulates toward ``trip_after``.
             self._streak = 0
 
-        armed = self._windows_seen > cfg.warmup_windows and self._cooldown == 0
+        armed = self._windows_seen >= cfg.warmup_windows and self._cooldown == 0
         if self._cooldown:
             self._cooldown -= 1
         tripped = armed and suspect and self._streak >= cfg.trip_after

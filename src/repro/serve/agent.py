@@ -19,8 +19,10 @@ bypass / insert-EPV         serve-and-drop / admit with an EPV
 Everything else — the feature-sliced Q-table, the per-sampled-segment
 EQ FIFOs, R_AC/R_IN on re-request, OB/NOB-split NR rewards on EQ
 eviction, the SARSA update pairing an evicted entry with the queue's
-new head — is reused *directly* from :mod:`repro.core`; this module
-contains no learning code of its own.
+new head — is :class:`~repro.env.driver.AgentCore`, the same shared
+driver the LLC policy binds; this module contains no learning code of
+its own, only the serve binding (features, obstruction source, RNG
+seed discipline, EPV plumbing into the object store).
 
 The concurrency-aware part survives intact: when a tenant's backend
 fetches are slow (its origin is "obstructed", the C-AMAT analogue),
@@ -30,24 +32,18 @@ evicting useless bytes exactly where misses hurt most.
 
 from __future__ import annotations
 
-import random
 from dataclasses import replace
 from typing import Dict, Optional, Tuple
 
 from ..core.config import (
     ACTION_BYPASS,
-    ACTION_EPV_HIGH,
     ACTION_TO_EPV,
     EPV_MAX,
-    HIT_ACTIONS,
-    MISS_ACTIONS,
     ChromeConfig,
 )
-from ..core.eq import EQEntry, EvaluationQueue, hash_block_address
 from ..core.persistence import restore_agent, save_agent
-from ..core.backend import make_qtable
+from ..env.driver import AgentCore
 from ..sim.address import fold_hash, mix_hash
-from ..sim.replacement.optgen import choose_sampled_sets
 from .policies import ServePolicy, register_serve_policy
 from .store import CachedObject
 from .workloads import Request
@@ -219,136 +215,56 @@ class BackendObstructionMonitor:
         return {f"tenant{t}": round(v, 3) for t, v in sorted(self._ewma.items())}
 
 
-class ServeAgent:
+class ServeAgent(AgentCore):
     """Algorithm 1 over cache *requests* instead of LLC accesses.
 
-    The decision/training pipeline is a line-for-line port of
-    :class:`~repro.core.chrome.ChromePolicy`: epsilon-greedy over the
-    same four actions, EQ recording on sampled segments, R_AC/R_IN on
-    re-request, OB/NOB NR rewards at EQ eviction, one SARSA update per
-    eviction.  Only the state features and the obstruction source
-    differ (see the module docstring's mapping table).
+    The serve binding of :class:`~repro.env.driver.AgentCore` — the
+    same driver :class:`~repro.core.chrome.ChromePolicy` binds for the
+    LLC: epsilon-greedy over the same four actions, EQ recording on
+    sampled segments, R_AC/R_IN on re-request, OB/NOB NR rewards at EQ
+    eviction, one SARSA update per eviction.  Only the state features,
+    the obstruction source and the RNG seed discipline live here (see
+    the module docstring's mapping table).
     """
 
     def __init__(
         self, config: Optional[ChromeConfig] = None, seed: int = 0
     ) -> None:
-        self.config = config or ChromeConfig()
+        config = config or ChromeConfig()
         self.features = ServeFeatureExtractor()
-        self.qtable = make_qtable(self.features.num_features, self.config)
-        self.eq = EvaluationQueue(self.config.sampled_sets, self.config.eq_fifo_size)
         # Job-spec seeding, mirroring SimJob: the exploration RNG is a
         # pure function of (config seed, job seed) — nothing ambient.
-        self._rng = random.Random(mix_hash((self.config.seed << 17) ^ seed))
-        self._rand = self._rng.random
-        self._epsilon = self.config.epsilon
-        self._rewards = self.config.rewards
-        self._miss_actions: Tuple[int, ...] = MISS_ACTIONS
-        self._hit_actions: Tuple[int, ...] = HIT_ACTIONS
-        self._monitor: Optional[BackendObstructionMonitor] = None
-        self._sampled_queue: Dict[int, int] = {}
-        # telemetry
-        self.sampled_requests = 0
-        self.decisions = 0
-        self.explorations = 0
-        self.bypass_decisions = 0
-        # reward-family mix, same families as the LLC agent
-        self.rewards_accurate = 0
-        self.rewards_inaccurate = 0
-        self.rewards_nr_accurate = 0
-        self.rewards_nr_inaccurate = 0
-        self.rewards_nr_obstructed = 0
+        AgentCore.__init__(
+            self,
+            config,
+            self.features.num_features,
+            mix_hash((config.seed << 17) ^ seed),
+        )
 
     # --- wiring -----------------------------------------------------------------
 
     def attach(self, num_segments: int) -> None:
         """Choose the sampled training segments (64-sampled-set scheme)."""
-        sampled = sorted(
-            choose_sampled_sets(num_segments, self.config.sampled_sets)
-        )
-        self._sampled_queue = {s: i for i, s in enumerate(sampled)}
-        if len(sampled) != self.eq.num_queues:
-            self.eq = EvaluationQueue(len(sampled), self.config.eq_fifo_size)
-
-    def bind_obstruction(self, monitor: BackendObstructionMonitor) -> None:
-        """Receive the backend-latency monitor supplying OB/NOB flags."""
-        self._monitor = monitor
+        self.attach_sampled(num_segments)
 
     # --- decision + training (Algorithm 1) ---------------------------------------
 
+    @property
+    def sampled_requests(self) -> int:
+        """Serve spelling of the shared sampled-step counter."""
+        return self.sampled_steps
+
     def decide(self, req: Request, seg_idx: int, hit: bool) -> int:
         """One RL decision for one request; trains on sampled segments."""
-        queue_idx = self._sampled_queue.get(seg_idx)
-        hashed = hash_block_address(req.key) if queue_idx is not None else 0
-
-        if queue_idx is not None:
-            self.sampled_requests += 1
-            entry = self.eq.find(queue_idx, hashed)
-            if entry is not None and entry.reward is None:
-                self.eq.reward_matches += 1
-                rewards = self._rewards
-                if hit:
-                    entry.reward = rewards.accurate(req.is_refresh)
-                    self.rewards_accurate += 1
-                else:
-                    entry.reward = rewards.inaccurate(req.is_refresh)
-                    self.rewards_inaccurate += 1
-
         state = self.features.extract(
             req.key, req.size, req.tenant, hit, req.is_refresh
         )
-
-        legal = self._hit_actions if hit else self._miss_actions
-        self.decisions += 1
-        if self._rand() < self._epsilon:
-            action = legal[self._rng.randrange(len(legal))]
-            self.explorations += 1
-        else:
-            action = self.qtable.best_action(state, legal)
+        action = self.rl_decide(
+            state, seg_idx, req.key, hit, req.is_refresh, req.tenant
+        )
         if action == ACTION_BYPASS:
             self.bypass_decisions += 1
-
-        if queue_idx is not None:
-            new_entry = EQEntry(
-                state=state,
-                action=action,
-                trigger_hit=hit,
-                hashed_addr=hashed,
-                core=req.tenant,
-            )
-            evicted, head = self.eq.insert(queue_idx, new_entry)
-            if evicted is not None and head is not None:
-                if not evicted.has_reward:
-                    evicted.reward = self._no_rerequest_reward(evicted)
-                self._sarsa_update(evicted, head)
         return action
-
-    def _no_rerequest_reward(self, entry: EQEntry) -> float:
-        rewards = self._rewards
-        obstructed = (
-            self._monitor.is_obstructed(entry.core)
-            if self._monitor is not None
-            else False
-        )
-        if obstructed:
-            self.rewards_nr_obstructed += 1
-        if entry.trigger_hit:
-            deprioritized = entry.action == ACTION_EPV_HIGH
-        else:
-            deprioritized = entry.action == ACTION_BYPASS
-        if deprioritized:
-            self.rewards_nr_accurate += 1
-            return rewards.accurate_no_rerequest(obstructed)
-        self.rewards_nr_inaccurate += 1
-        return rewards.inaccurate_no_rerequest(obstructed)
-
-    def _sarsa_update(self, evicted: EQEntry, head: EQEntry) -> None:
-        cfg = self.config
-        q_next = self.qtable.q(head.state, head.action)
-        q_cur = self.qtable.q(evicted.state, evicted.action)
-        assert evicted.reward is not None
-        delta = cfg.alpha * (evicted.reward + cfg.gamma * q_next - q_cur)
-        self.qtable.apply_delta(evicted.state, evicted.action, delta)
 
     # --- persistence (warm starts) ------------------------------------------------
 
@@ -362,22 +278,12 @@ class ServeAgent:
 
     # --- reporting ---------------------------------------------------------------
 
-    def reward_mix(self) -> dict:
-        """Cumulative reward-family counts (sampled by the obs layer)."""
-        return {
-            "accurate": self.rewards_accurate,
-            "inaccurate": self.rewards_inaccurate,
-            "nr_accurate": self.rewards_nr_accurate,
-            "nr_inaccurate": self.rewards_nr_inaccurate,
-            "nr_obstructed": self.rewards_nr_obstructed,
-        }
-
     def telemetry(self) -> dict:
         return {
             "decisions": self.decisions,
             "explorations": self.explorations,
             "bypass_decisions": self.bypass_decisions,
-            "sampled_requests": self.sampled_requests,
+            "sampled_requests": self.sampled_steps,
             "q_updates": self.qtable.updates,
             "eq_reward_matches": self.eq.reward_matches,
             **{f"reward_{k}": v for k, v in self.reward_mix().items()},

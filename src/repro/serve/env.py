@@ -1,0 +1,81 @@
+"""The serving layer as an :class:`~repro.env.protocol.Environment`.
+
+The serve domain binding: a :class:`~repro.serve.service.CacheService`
+request loop (including the resilient pipeline when fault/resilience
+params are supplied) driving :class:`~repro.serve.agent.ServeAgent`,
+the serve binding of the shared :class:`~repro.env.driver.AgentCore`.
+``run()`` is exactly :func:`~repro.serve.service.run_configured` — the
+adapter only holds onto the policy instance so the snapshot seam stays
+reachable after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Dict, List, Optional
+
+from ..core.persistence import agent_state
+from ..env.driver import restore_agent_state
+from ..env.protocol import Environment
+from ..env.registry import register_environment
+from .config import ServiceConfig
+from .service import run_configured
+from .workloads import build_workload
+
+
+class ServeEnvironment(Environment):
+    """One CHROME-fronted cache service, run over a workload stream."""
+
+    name = "serve"
+    snapshot_kind = "serve-agent"
+
+    def __init__(
+        self,
+        *,
+        workload: str = "zipf_scan",
+        num_requests: int = 1000,
+        warmup_requests: int = 200,
+        capacity_bytes: int = 1 << 20,
+        num_segments: int = 64,
+        num_clients: int = 1,
+        seed: int = 17,
+        backend: Optional[str] = None,
+        fault_params=(),
+        resilience_params=(),
+    ) -> None:
+        self._num_requests = num_requests
+        self.config = ServiceConfig.from_params(
+            capacity_bytes=capacity_bytes,
+            num_segments=num_segments,
+            policy="chrome",
+            num_clients=num_clients,
+            warmup_requests=warmup_requests,
+            seed=seed,
+            workload_name=workload,
+            backend=backend,
+            fault_params=tuple(fault_params),
+            resilience_params=tuple(resilience_params),
+        )
+        self.policy = self.config.build_policy()
+
+    def run(self) -> Dict[str, object]:
+        requests = build_workload(
+            self.config.workload_name,
+            self._num_requests + self.config.warmup_requests,
+            seed=self.config.seed,
+        )
+        metrics = run_configured(requests, self.config, policy=self.policy)
+        return asdict(metrics)
+
+    def agent_states(self) -> List[dict]:
+        return [agent_state(self.policy.agent, self.snapshot_kind)]
+
+    def load_agent_states(
+        self, states: List[dict], *, keep_rng: bool = False
+    ) -> None:
+        restore_agent_state(
+            self.policy.agent, states[0], self.snapshot_kind, keep_rng=keep_rng
+        )
+
+
+register_environment("serve", ServeEnvironment)

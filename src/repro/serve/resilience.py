@@ -205,9 +205,19 @@ class ResilienceState:
     # --- retries ----------------------------------------------------------------
 
     def backoff_ms(self, seq: int, attempt: int) -> float:
-        """Backoff before attempt ``attempt + 1`` (deterministic jitter)."""
+        """Backoff before attempt ``attempt + 1`` (deterministic jitter).
+
+        ``attempt`` counts *completed* attempts, so callers pass values
+        from 1 upward (the retry loop asserts this).  The exponent is
+        clamped at zero anyway: a defensive ``attempt=0`` waits exactly
+        ``backoff_base_ms`` (pre-jitter) instead of underflowing to a
+        sub-base ``base / multiplier`` wait.
+        """
         cfg = self.config
-        backoff = cfg.backoff_base_ms * cfg.backoff_multiplier ** (attempt - 1)
+        exponent = attempt - 1
+        if exponent < 0:
+            exponent = 0
+        backoff = cfg.backoff_base_ms * cfg.backoff_multiplier ** exponent
         if backoff > cfg.backoff_cap_ms:
             backoff = cfg.backoff_cap_ms
         if cfg.jitter_fraction > 0.0:

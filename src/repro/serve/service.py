@@ -293,6 +293,9 @@ class CacheService:
                 break
             if timed_out or attempt >= cfg.max_attempts:
                 break
+            # backoff_ms's ladder starts at attempt 1 (one completed
+            # attempt); attempt 0 would silently wait less than base.
+            assert attempt >= 1, f"backoff before any attempt (attempt={attempt})"
             backoff = res.backoff_ms(seq, attempt)
             if budget > 0.0 and total + backoff >= budget:
                 break
@@ -383,18 +386,11 @@ class CacheService:
                 f"expected exactly 1 agent state for a single service, "
                 f"got {len(states)}"
             )
-        from ..core.persistence import load_agent_state
+        from ..env.driver import restore_agent_state
 
-        agent = self._agent()
-        state = states[0]
-        if keep_rng:
-            qtable = dict(state["qtable"])
-            qtable["lookups"] = agent.qtable.lookups
-            qtable["updates"] = agent.qtable.updates
-            state = dict(state)
-            state["qtable"] = qtable
-            state["rng_state"] = None
-        load_agent_state(agent, state, kind="serve-agent")
+        restore_agent_state(
+            self._agent(), states[0], "serve-agent", keep_rng=keep_rng
+        )
 
     # --- observability (opt-in; reads shared state, never mutates it) -------------
 

@@ -171,14 +171,58 @@ def test_guardrail_skips_empty_windows():
 
 
 def test_guardrail_arms_only_after_warmup():
+    # Armed from the warmup_windows-th *measured* window onward: with
+    # warmup_windows=2 the second measured window is already judged
+    # armed (the historic off-by-one armed one window later).
     guard = Guardrail(_GUARDED)  # warmup_windows=2, trip_after=2
     v1 = guard.observe(_signals(byte_hit=0.0))
+    assert v1.suspect and not v1.armed and not v1.tripped
     v2 = guard.observe(_signals(byte_hit=0.0))
-    assert v1.suspect and v2.suspect
-    assert not v1.armed and not v2.armed  # still inside warmup
-    assert not v1.tripped and not v2.tripped
-    v3 = guard.observe(_signals(byte_hit=0.0))
-    assert v3.armed and v3.tripped  # streak >= 2 and now armed
+    assert v2.suspect and v2.armed
+    assert v2.streak == 2 and v2.tripped  # armed exactly at the boundary
+
+
+def test_guardrail_empty_windows_do_not_burn_warmup():
+    guard = Guardrail(_GUARDED)  # warmup_windows=2
+    for _ in range(5):
+        guard.observe(_signals(requests=0))
+    v1 = guard.observe(_signals(byte_hit=0.0))
+    assert not v1.armed  # only measured windows count toward warmup
+    assert guard.observe(_signals(byte_hit=0.0)).armed
+
+
+def test_guardrail_alternating_breach_degradation_trips():
+    # Degradation that alternates a hard-breach window (p99) with a
+    # window whose only symptom is a raw byte-hit breach while the
+    # EWMA coasts on healthy history.  The raw-only window is streak-
+    # neutral: pre-fix it reset the streak and this pattern never
+    # accumulated trip_after consecutive breaches.
+    guard = Guardrail(OpsConfig(min_byte_hit_ewma=0.4, max_p99_ms=5.0,
+                                trip_after=2, warmup_windows=0,
+                                ewma_beta=0.2))
+    for _ in range(4):
+        assert not guard.observe(_signals(byte_hit=0.9)).suspect
+    v1 = guard.observe(_signals(byte_hit=0.9, p99_ms=9.0))
+    assert v1.streak == 1 and not v1.tripped
+    mid = guard.observe(_signals(byte_hit=0.0))
+    assert mid.suspect and not mid.breaches  # raw-only breach
+    assert mid.streak == 1  # held, not reset
+    v2 = guard.observe(_signals(byte_hit=0.9, p99_ms=9.0))
+    assert v2.streak == 2 and v2.tripped
+
+
+def test_guardrail_cooldown_ticks_through_empty_windows():
+    guard = Guardrail(OpsConfig(min_byte_hit_ewma=0.4, trip_after=1,
+                                warmup_windows=0, cooldown_windows=2,
+                                ewma_beta=1.0))
+    assert guard.observe(_signals(byte_hit=0.0)).tripped
+    guard.reset_after_rollback()
+    # An idle stretch after the rollback: empty windows carry no
+    # samples but still burn the cooldown grace (pre-fix they were
+    # skipped wholesale and could pin the guardrail disarmed forever).
+    guard.observe(_signals(requests=0))
+    guard.observe(_signals(requests=0))
+    assert guard.observe(_signals(byte_hit=0.0)).tripped
 
 
 def test_guardrail_raw_breach_marks_suspect_while_ewma_coasts():

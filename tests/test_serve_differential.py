@@ -211,3 +211,43 @@ def test_chaos_reproducible_across_processes() -> None:
     # lists; canonicalize via a JSON round-trip of the local stats too
     assert subprocess_stats == json.loads(json.dumps(here, sort_keys=True))
     assert subprocess_stats["errors"] > 0
+
+
+# --- backoff attempt ladder -----------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "attempt,expected_base",
+    [
+        (1, 2.0),   # base: first retry waits backoff_base_ms
+        (2, 4.0),   # growth: base * multiplier
+        (3, 8.0),
+        (5, 32.0),
+        (6, 50.0),  # cap: 64 ms clamped to backoff_cap_ms
+        (9, 50.0),  # stays capped arbitrarily deep into the ladder
+        (0, 2.0),   # defensive clamp: never below base (pre-fix this
+                    # underflowed to base / multiplier = 1.0)
+    ],
+)
+def test_backoff_attempt_ladder(attempt: int, expected_base: float) -> None:
+    from repro.serve.resilience import ResilienceState
+
+    state = ResilienceState(ResilienceConfig(seed=3))
+    cfg = state.config
+    for seq in (0, 7, 1001):
+        backoff = state.backoff_ms(seq, attempt)
+        # jitter is additive and bounded: [expected, expected * (1 + jf))
+        assert backoff >= expected_base
+        assert backoff < expected_base * (1.0 + cfg.jitter_fraction)
+        # deterministic: a pure hash of (seed, seq, attempt)
+        assert state.backoff_ms(seq, attempt) == backoff
+
+
+def test_backoff_without_jitter_is_exact() -> None:
+    from repro.serve.resilience import ResilienceState
+
+    state = ResilienceState(ResilienceConfig(jitter_fraction=0.0))
+    assert [state.backoff_ms(0, a) for a in (1, 2, 3, 4, 5, 6, 7)] == [
+        2.0, 4.0, 8.0, 16.0, 32.0, 50.0, 50.0
+    ]
+    assert state.backoff_ms(0, 0) == 2.0  # clamped, not 1.0
